@@ -1,0 +1,58 @@
+"""Ablation A2: expansion budget K vs achieved penalty (Section VI knob).
+
+The user-tunable trade-off of the paper: each extra variant admitted by
+Algorithm 1 lowers the penalty but grows code size and dispatch overhead.
+This benchmark sweeps K and reports the average/max penalty reached, and
+times a single greedy expansion step over the full candidate set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.expansion import AveragePenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(99)
+    chain = sample_shapes(7, 1, rng, rectangular_probability=0.5)[0]
+    variants = all_variants(chain)
+    instances = sample_instances(chain, 2000, rng)
+    matrix = CostMatrix(variants, instances)
+    base = essential_set(chain, cost_matrix=matrix)
+    return chain, matrix, base
+
+
+def test_penalty_vs_budget(benchmark, setup):
+    chain, matrix, base = setup
+    sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+
+    def sweep():
+        rows = []
+        values = []
+        for extra in range(0, 5):
+            expanded = expand_set(matrix, base, max_size=len(base) + extra)
+            idx = [sig_to_idx[v.signature()] for v in expanded]
+            avg = matrix.average_penalty(idx)
+            worst = matrix.max_penalty(idx)
+            rows.append(
+                f"K = |E_s|+{extra} ({len(expanded):2d} variants): "
+                f"avg penalty {100 * avg:6.2f}%  max penalty {100 * worst:7.2f}%"
+            )
+            values.append(avg)
+        return rows, values
+
+    rows, values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier + 1e-12
+    emit("Ablation A2: expansion budget vs penalty", "\n".join(rows))
+
+
+def test_expansion_step_speed(benchmark, setup):
+    chain, matrix, base = setup
+    result = benchmark(expand_set, matrix, base, len(base) + 1, AveragePenalty)
+    assert len(result) <= len(base) + 1

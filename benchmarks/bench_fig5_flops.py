@@ -1,0 +1,81 @@
+"""Regenerates Fig. 5 and the Section VII-A prose statistics.
+
+The full paper configuration enumerates all 10^n - 9^n shapes per n with
+10^5 training / 10^3 validation instances; this benchmark runs a seeded
+sample (override via environment variables REPRO_FIG5_SHAPES /
+REPRO_FIG5_TRAIN / REPRO_FIG5_VAL for larger runs) and checks the paper's
+qualitative claims:
+
+* the base set E_s stays within a small constant of optimal everywhere
+  while the left-to-right singleton L has a heavy tail;
+* one and two expansion steps (E_s1, E_s2) shrink the gap to a few percent;
+* the eCDF ordering E_s2 >= E_s1 >= E_s >> L holds pointwise.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.ecdf import ECDF
+from repro.experiments.flops_experiment import (
+    evaluate_shape,
+    run_flops_experiment,
+)
+from repro.experiments.sampling import sample_shapes
+
+from conftest import emit
+
+SHAPES = int(os.environ.get("REPRO_FIG5_SHAPES", "12"))
+TRAIN = int(os.environ.get("REPRO_FIG5_TRAIN", "1000"))
+VAL = int(os.environ.get("REPRO_FIG5_VAL", "200"))
+
+
+def test_fig5_reproduction(benchmark):
+    fig5_result = benchmark.pedantic(
+        lambda: run_flops_experiment(
+            n_values=(5, 6, 7),
+            shapes_per_n=SHAPES,
+            train_instances=TRAIN,
+            val_instances=VAL,
+            seed=2026,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 5 summary (ratio over optimal FLOPs)", fig5_result.summary_table())
+    xs = (1.0, 1.05, 1.1, 1.2, 1.3, 1.4, 1.5)
+    curves = []
+    for n in (5, 6, 7):
+        for name in ("Es", "Es1", "Es2", "L"):
+            ecdf = fig5_result.ecdf(n, name)
+            points = " ".join(f"{x:g}:{100 * y:.0f}%" for x, y in ecdf.curve(xs))
+            curves.append(f"n={n} {name:>4}: {points}")
+    emit("Fig. 5 eCDF series", "\n".join(curves))
+
+    for n in (5, 6, 7):
+        ratios = fig5_result.ratios[n]
+        # Paper: E_s below 2.1 everywhere, <= 1.2 on ~96% of instances.
+        assert ratios["Es"].max() <= 4.0  # generous at benchmark scale
+        assert ECDF.from_sample(ratios["Es"]).fraction_at_or_below(1.2) > 0.80
+        # Expansions dominate the base set.
+        assert ratios["Es1"].mean() <= ratios["Es"].mean() + 1e-9
+        assert ratios["Es2"].mean() <= ratios["Es1"].mean() + 1e-9
+        # The left-to-right singleton has a heavy tail (paper: > 465 worst,
+        # ratio > 1.5 on more than 23% of instances).
+        assert ratios["L"].max() > 2.0
+        frac_above_15 = 1.0 - ECDF.from_sample(ratios["L"]).fraction_at_or_below(1.5)
+        assert frac_above_15 > 0.10
+
+
+def test_fig5_shape_pipeline_speed(benchmark):
+    """Times the per-shape pipeline (variant build + E_s + 2 expansions)."""
+    rng = np.random.default_rng(7)
+    chain = sample_shapes(7, 1, rng, rectangular_probability=0.5)[0]
+
+    def run():
+        local = np.random.default_rng(7)
+        return evaluate_shape(chain, local, train_instances=400, val_instances=100)
+
+    ratios = benchmark(run)
+    assert set(ratios) == {"Es", "Es1", "Es2", "L"}

@@ -1,0 +1,61 @@
+"""Ablation A9: empirical kernel coverage (Table I "Associations" census).
+
+Counts which kernels the compiler emits over the experiment shape space:
+every Table I kernel family should appear somewhere (no dead table rows),
+with GEMM and the triangular kernels dominating, and the expensive
+GESYSV/GETRSV appearing only for singular-triangular neighbours.
+"""
+
+import pytest
+
+from repro.experiments.coverage import census_of_option_space
+
+from conftest import emit
+
+
+def test_kernel_census(benchmark):
+    census = benchmark.pedantic(
+        lambda: census_of_option_space(3, sample=None),  # all 271 shapes
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation A9: kernel usage census (all n=3 shapes, all variants)",
+        census.format_table(),
+    )
+    # Every shape yields n-1 = 2 calls per variant, 2 variants per shape,
+    # plus occasional explicit-inversion fix-ups.
+    assert census.shapes == 10**3 - 9**3
+    assert census.variants == 2 * census.shapes
+    assert census.total_calls >= 4 * census.shapes
+
+    # The workhorse kernels all appear...
+    for kernel in ("GEMM", "TRMM", "SYMM", "TRSM", "POGESV", "GEGESV"):
+        assert census.counts[kernel] > 0, kernel
+    # ...and TRMM dominates (six of the ten options are triangular),
+    # with GEMM among the top three.
+    ranked = [name for name, _ in census.counts.most_common(3)]
+    assert ranked[0] == "TRMM"
+    assert "GEMM" in ranked
+
+    # Kernels that require symmetric non-SPD coefficients/RHS cannot appear
+    # in the 10-option space (it has no plain-symmetric option).
+    unused = set(census.unused_kernels())
+    assert "SYGESV" in unused and "SYSYSV" in unused
+
+    # Diagonal extension kernels cannot appear either.
+    assert "DIMM" in unused
+
+
+def test_census_larger_sample(benchmark):
+    census = benchmark.pedantic(
+        lambda: census_of_option_space(6, sample=40, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation A9b: kernel census, sampled n=6 shapes",
+        census.format_table(top=12),
+    )
+    assert census.total_calls > 0
+    assert 0.0 <= census.frequency("GEMM") <= 1.0

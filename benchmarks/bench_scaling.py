@@ -1,0 +1,32 @@
+"""Ablation A5: compile-time and code-size scaling vs chain length.
+
+Regenerates the motivation table for multi-versioning with small sets:
+Catalan-many candidate variants vs the linear fanning-out set vs the
+class-bounded essential set, with measured compile times and emitted C++
+sizes.
+"""
+
+import pytest
+
+from repro.experiments.scaling import format_scaling_table, run_scaling_study
+
+from conftest import emit
+
+
+def test_scaling_study(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_study(n_values=(3, 4, 5, 6, 7), shapes_per_n=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation A5: compile-time/code-size scaling", format_scaling_table(rows))
+
+    by_n = {row.n: row for row in rows}
+    # Catalan growth vs linear fanning-out growth.
+    assert by_n[7].parenthesizations == 132
+    assert by_n[7].fanning_out == 8
+    for row in rows:
+        assert row.avg_essential <= row.fanning_out
+        assert row.essential_cpp_lines <= row.full_cpp_lines
+    # Full-enumeration code size explodes relative to the essential set.
+    assert by_n[7].full_cpp_lines > 5 * by_n[7].essential_cpp_lines

@@ -1,0 +1,92 @@
+"""Regenerates Table I: the kernel set, cost functions, and classifications.
+
+Also times the NumPy reference implementation of each kernel family at a
+fixed size, establishing the substrate's measured efficiency ordering
+(GEMM-class products faster than factorization-based solves) that the
+simulated machine encodes analytically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import reference as ref
+from repro.kernels.cost import CostType
+from repro.kernels.spec import KERNELS, PRODUCT_KERNELS, SOLVE_KERNELS
+
+from conftest import emit
+
+N = 256
+RNG = np.random.default_rng(0)
+
+
+def _table1_rows() -> str:
+    lines = [f"{'kernel':<10} {'kind':<8} {'cost (left/cheap)':<22} type"]
+    for kernel in KERNELS.values():
+        cost = kernel.cost(side="left", cheap=True)
+        lines.append(
+            f"{kernel.name:<10} {kernel.kind:<8} {str(cost):<22} "
+            f"{cost.cost_type.value}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_reproduction(benchmark):
+    """The kernel database matches Table I's classification exactly."""
+    benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    type_ii = {
+        name
+        for name, kernel in KERNELS.items()
+        if kernel.kind == "solve"
+        and kernel.cost(side="left").cost_type is CostType.TYPE_IIA
+    }
+    assert type_ii == {"GEGESV", "SYGESV", "POGESV"}
+    assert len(PRODUCT_KERNELS) == 6
+    assert len(SOLVE_KERNELS) == 12
+    emit("Table I (kernels, cost functions, types)", _table1_rows())
+
+
+@pytest.fixture(scope="module")
+def operands():
+    a = RNG.standard_normal((N, N))
+    spd = a @ a.T / np.sqrt(N) + np.eye(N)
+    low = np.tril(RNG.standard_normal((N, N)))
+    low[np.diag_indices(N)] = np.abs(np.diag(low)) + 1
+    sym = (a + a.T) / 2 + np.eye(N) * N
+    g = RNG.standard_normal((N, N)) + np.eye(N) * np.sqrt(N)
+    return {"general": g, "spd": spd, "lower": low, "sym": sym}
+
+
+def test_gemm_throughput(benchmark, operands):
+    benchmark(ref.gemm, operands["general"], operands["sym"])
+
+
+def test_symm_throughput(benchmark, operands):
+    benchmark(ref.symm, operands["sym"], operands["general"])
+
+
+def test_trmm_throughput(benchmark, operands):
+    benchmark(ref.trmm, operands["lower"], operands["general"])
+
+
+def test_trsm_throughput(benchmark, operands):
+    benchmark(ref.trsm, operands["lower"], operands["general"])
+
+
+def test_gegesv_throughput(benchmark, operands):
+    benchmark(ref.gegesv, operands["general"], operands["general"])
+
+
+def test_pogesv_throughput(benchmark, operands):
+    benchmark(ref.pogesv, operands["spd"], operands["general"])
+
+
+def test_sygesv_throughput(benchmark, operands):
+    benchmark(ref.sygesv, operands["sym"], operands["general"])
+
+
+def test_poinv_throughput(benchmark, operands):
+    benchmark(ref.poinv, operands["spd"])
+
+
+def test_trinv_throughput(benchmark, operands):
+    benchmark(ref.trinv, operands["lower"])

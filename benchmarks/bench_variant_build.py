@@ -1,0 +1,62 @@
+"""Compile-time costs: variant construction and full enumeration.
+
+Multi-versioning shifts work to compile time; this benchmark quantifies it:
+building one variant (the four-step procedure of Section IV), enumerating
+all C_{n-1} variants, and emitting the C++ translation unit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.cpp_emitter import emit_cpp
+from repro.compiler.parenthesization import enumerate_trees, left_to_right_tree
+from repro.compiler.selection import all_variants, essential_set
+from repro.compiler.variant import build_variant
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def chain7():
+    rng = np.random.default_rng(17)
+    return sample_shapes(7, 1, rng, rectangular_probability=0.5)[0]
+
+
+def test_build_single_variant(benchmark, chain7):
+    tree = left_to_right_tree(7)
+    variant = benchmark(build_variant, chain7, tree)
+    assert len(variant.steps) == 6
+
+
+def test_enumerate_all_variants(benchmark, chain7):
+    variants = benchmark(all_variants, chain7)
+    assert len(variants) == 132
+
+
+def test_emit_cpp_translation_unit(benchmark, chain7):
+    rng = np.random.default_rng(1)
+    train = sample_instances(chain7, 300, rng)
+    selected = essential_set(chain7, training_instances=train)
+    source = benchmark(emit_cpp, chain7, selected)
+    assert "dispatch" in source.lower() or "best" in source
+
+
+def test_code_size_scaling(benchmark):
+    """Generated code size grows linearly with the variant count."""
+    rng = np.random.default_rng(2)
+    chain = sample_shapes(6, 1, rng, rectangular_probability=0.5)[0]
+    variants = all_variants(chain)
+
+    def sweep():
+        rows, sizes = [], []
+        for k in (1, 2, 4, 8):
+            source = emit_cpp(chain, variants[:k])
+            lines = len(source.splitlines())
+            rows.append(f"{k:2d} variants -> {lines:5d} lines of C++")
+            sizes.append(lines)
+        return rows, sizes
+
+    rows, sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert sizes == sorted(sizes) and len(set(sizes)) == len(sizes)
+    emit("Code-size overhead vs variant count", "\n".join(rows))

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an
+ablation declared in DESIGN.md).  Reproduced rows are attached to the
+pytest-benchmark ``extra_info`` and printed, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the regenerated artifacts alongside the timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced artifact block (visible with -s)."""
+    print()
+    print(f"==== {title} ====")
+    print(body)

@@ -1,0 +1,65 @@
+"""Schur complement via the sum-of-chains extension.
+
+The paper's conclusion lists "more general expressions involving addition
+and subtraction" as future work; this reproduction implements the first
+slice (sums of scaled chains, no common-subexpression elimination).  The
+flagship use case is the Schur complement of a block SPD matrix,
+
+    S := A - B * D^-1 * C,
+
+which drives block factorizations, domain decomposition, and marginal
+covariances of Gaussian models.  Each term is compiled with the full
+multi-versioning pipeline; the subtraction is a fixed post-pass.
+
+Run:  python examples/schur_complement.py
+"""
+
+import numpy as np
+
+from repro import compile_expression
+
+SOURCE = """
+Matrix A <Symmetric, SPD>;      # upper-left block
+Matrix B <General, Singular>;   # upper-right block
+Matrix D <Symmetric, SPD>;      # lower-right block
+Matrix C <General, Singular>;   # lower-left block
+S := A - B * D^-1 * C;
+"""
+
+
+def main() -> None:
+    generated = compile_expression(SOURCE, expand_by=1, seed=0)
+    print(f"expression: {generated.expression}")
+    print(f"compiled {len(generated)} terms")
+    for term, code in zip(generated.expression, generated.term_codes):
+        print(f"\nterm {term}: {len(code)} variants")
+        for variant in code.variants:
+            print(f"  {variant.name}: {' -> '.join(variant.kernel_names)}")
+
+    rng = np.random.default_rng(7)
+    for p, m in [(400, 50), (50, 400)]:
+        x = rng.standard_normal((p + m, p + m))
+        full = x @ x.T / np.sqrt(p + m) + np.eye(p + m)
+        blocks = {
+            "A": full[:p, :p].copy(),
+            "B": full[:p, p:].copy(),
+            "C": full[p:, :p].copy(),
+            "D": full[p:, p:].copy(),
+        }
+        cost = generated.flop_cost(blocks)
+        result = generated(**blocks)
+        expected = blocks["A"] - blocks["B"] @ np.linalg.solve(
+            blocks["D"], blocks["C"]
+        )
+        err = np.abs(result - expected).max() / np.abs(expected).max()
+        print(
+            f"\nblock sizes p={p}, m={m}: dispatched cost {cost:,.0f} FLOPs, "
+            f"max rel err {err:.2e}"
+        )
+        # The Schur complement of an SPD matrix is SPD.
+        eigenvalues = np.linalg.eigvalsh((result + result.T) / 2)
+        print(f"  smallest eigenvalue of S: {eigenvalues.min():.3e} (> 0)")
+
+
+if __name__ == "__main__":
+    main()

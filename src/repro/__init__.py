@@ -1,0 +1,101 @@
+"""repro — Compilation of Generalized Matrix Chains with Symbolic Sizes.
+
+A full reproduction of the CGO 2026 paper by López, Karlsson, and
+Bientinesi: a multi-versioning code generator for generalized matrix chains
+(GMCs) whose matrix sizes are unknown at compile time.
+
+Quickstart::
+
+    from repro import Matrix, Structure, Property, compile_chain
+
+    G = Matrix("G", Structure.GENERAL)
+    L = Matrix("L", Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR)
+    generated = compile_chain(G * L.inv * G.T)
+    result = generated(g_array, l_array, g_array)   # dispatches + executes
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.errors import (
+    ReproError,
+    ParseError,
+    InvalidFeaturesError,
+    ShapeError,
+    CompilationError,
+    ExecutionError,
+    DispatchError,
+)
+from repro.ir import (
+    Structure,
+    Property,
+    Matrix,
+    UnaryOp,
+    Operand,
+    Chain,
+    Instance,
+    ChainSum,
+    ChainTerm,
+    parse_program,
+    parse_chain,
+    parse_expression,
+    simplify_chain,
+)
+from repro.compiler import (
+    Variant,
+    build_variant,
+    all_variants,
+    fanning_out_variants,
+    essential_set,
+    left_to_right_variant,
+    expand_set,
+    Dispatcher,
+    execute_variant,
+    dp_optimal_cost,
+)
+from repro.api import (
+    GeneratedCode,
+    GeneratedExpression,
+    compile_chain,
+    compile_expression,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "InvalidFeaturesError",
+    "ShapeError",
+    "CompilationError",
+    "ExecutionError",
+    "DispatchError",
+    "Structure",
+    "Property",
+    "Matrix",
+    "UnaryOp",
+    "Operand",
+    "Chain",
+    "Instance",
+    "ChainSum",
+    "ChainTerm",
+    "parse_program",
+    "parse_chain",
+    "parse_expression",
+    "simplify_chain",
+    "Variant",
+    "build_variant",
+    "all_variants",
+    "fanning_out_variants",
+    "essential_set",
+    "left_to_right_variant",
+    "expand_set",
+    "Dispatcher",
+    "execute_variant",
+    "dp_optimal_cost",
+    "compile_chain",
+    "compile_expression",
+    "GeneratedCode",
+    "GeneratedExpression",
+    "__version__",
+]

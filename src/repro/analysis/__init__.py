@@ -1,0 +1,41 @@
+"""Symbolic and empirical analysis of variant spaces.
+
+Companions to the paper's Section V theory:
+
+* :mod:`repro.analysis.crossover` — exact symbolic analysis of where one
+  variant overtakes another along a parametric family of instances (the
+  "different sequences are best in different regions" phenomenon that
+  motivates multi-versioning).
+* :mod:`repro.analysis.usefulness` — empirical studies in the spirit of
+  López et al.'s "all parenthesizations are useful, few are essential":
+  per-variant win frequencies, dominated variants, and a greedy empirical
+  essential-subset probe.
+* :mod:`repro.analysis.report` — a markdown report generator summarizing a
+  chain's compilation: variants, costs, selection, and dispatch behaviour.
+"""
+
+from repro.analysis.crossover import (
+    SizeFamily,
+    cost_along_family,
+    crossover_points,
+    best_variant_regions,
+)
+from repro.analysis.usefulness import (
+    win_frequencies,
+    useful_variants,
+    dominated_variants,
+    empirical_essential_subset,
+)
+from repro.analysis.report import chain_report
+
+__all__ = [
+    "SizeFamily",
+    "cost_along_family",
+    "crossover_points",
+    "best_variant_regions",
+    "win_frequencies",
+    "useful_variants",
+    "dominated_variants",
+    "empirical_essential_subset",
+    "chain_report",
+]

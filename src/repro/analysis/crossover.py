@@ -1,0 +1,133 @@
+"""Symbolic crossover analysis along parametric instance families.
+
+With symbolic sizes, no single variant is optimal everywhere; the *regions*
+where each variant wins are delimited by crossover points.  This module
+computes those points exactly with sympy: an instance family assigns each
+size symbol a polynomial in one parameter ``t`` (e.g. ``q = (1, t, 1, t)``
+from the paper's Section V example), so variant costs become univariate
+polynomials whose intersections are algebraic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import sympy
+
+from repro.errors import ShapeError
+from repro.ir.chain import Chain
+from repro.compiler.variant import Variant
+
+#: The family parameter.
+T = sympy.Symbol("t", positive=True)
+
+
+@dataclass(frozen=True)
+class SizeFamily:
+    """A one-parameter family of instances ``q_i = f_i(t)``.
+
+    ``exprs`` maps each size symbol to a sympy expression in :data:`T`
+    (plain integers are accepted).  The family must respect the chain's
+    squareness constraints for all ``t`` in the domain: bound symbols must
+    be given identical expressions.
+    """
+
+    chain: Chain
+    exprs: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.exprs) != self.chain.n + 1:
+            raise ShapeError(
+                f"family needs {self.chain.n + 1} size expressions, "
+                f"got {len(self.exprs)}"
+            )
+        sympified = tuple(sympy.sympify(e) for e in self.exprs)
+        object.__setattr__(self, "exprs", sympified)
+        for cls in self.chain.equivalence_classes():
+            first = self.exprs[cls[0]]
+            for idx in cls[1:]:
+                if sympy.simplify(self.exprs[idx] - first) != 0:
+                    raise ShapeError(
+                        f"size symbols q{cls[0]} and q{idx} are bound by "
+                        f"squareness but the family assigns different "
+                        f"expressions ({first} vs {self.exprs[idx]})"
+                    )
+
+    def instance(self, t_value) -> tuple[int, ...]:
+        """Concrete instance at a parameter value (rounded to ints >= 1)."""
+        values = tuple(
+            max(1, int(sympy.Integer(round(float(e.subs(T, t_value))))))
+            for e in self.exprs
+        )
+        return self.chain.validate_sizes(values)
+
+
+def cost_along_family(variant: Variant, family: SizeFamily):
+    """The variant's FLOP cost as a sympy expression in ``t``."""
+    symbols = sympy.symbols(
+        [f"q{i}" for i in range(family.chain.n + 1)], positive=True
+    )
+    cost = variant.symbolic_cost()
+    substitutions = dict(zip(symbols, family.exprs))
+    return sympy.expand(cost.subs(substitutions))
+
+
+def crossover_points(
+    first: Variant,
+    second: Variant,
+    family: SizeFamily,
+    domain: tuple[float, float] = (1.0, 10.0**6),
+) -> list[float]:
+    """Parameter values in ``domain`` where the two costs are equal.
+
+    Returns the sorted real roots of the cost difference inside the open
+    interval.  An empty list means one variant dominates the other (or the
+    costs coincide) throughout the domain.
+    """
+    difference = sympy.expand(
+        cost_along_family(first, family) - cost_along_family(second, family)
+    )
+    if difference == 0:
+        return []
+    lo, hi = domain
+    points: list[float] = []
+    for root in sympy.real_roots(sympy.Poly(difference, T)):
+        value = float(root)
+        if lo < value < hi:
+            points.append(value)
+    return sorted(set(points))
+
+
+def best_variant_regions(
+    variants: Sequence[Variant],
+    family: SizeFamily,
+    domain: tuple[float, float] = (1.0, 10.0**6),
+) -> list[tuple[float, float, Variant]]:
+    """Partition the domain into intervals with a constant best variant.
+
+    All pairwise crossover points split the domain; within each cell the
+    ordering of the (continuous) cost functions is constant, so the best
+    variant is determined by evaluating at the cell midpoint.  Adjacent
+    cells with the same winner are merged.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    lo, hi = domain
+    cuts = {lo, hi}
+    for i, first in enumerate(variants):
+        for second in variants[i + 1:]:
+            cuts.update(crossover_points(first, second, family, domain))
+    ordered = sorted(cuts)
+
+    costs = [cost_along_family(v, family) for v in variants]
+    regions: list[tuple[float, float, Variant]] = []
+    for left, right in zip(ordered, ordered[1:]):
+        midpoint = (left + right) / 2.0
+        values = [float(c.subs(T, midpoint)) for c in costs]
+        winner = variants[min(range(len(variants)), key=values.__getitem__)]
+        if regions and regions[-1][2] is winner:
+            regions[-1] = (regions[-1][0], right, winner)
+        else:
+            regions.append((left, right, winner))
+    return regions

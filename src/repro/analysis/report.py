@@ -1,0 +1,108 @@
+"""Markdown compilation reports for a chain.
+
+:func:`chain_report` gathers everything a user would want to inspect about
+a shape in one document: the chain's features and size-symbol equivalence
+classes, the selected variants with kernel sequences and symbolic costs,
+empirical win frequencies over a sampled instance space, and a dispatch
+preview on representative instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.compiler.variant import Variant
+from repro.analysis.usefulness import win_frequencies
+from repro.experiments.sampling import sample_instances
+
+
+def _variant_row(variant: Variant) -> str:
+    kernels = " -> ".join(variant.kernel_names)
+    return f"| {variant.name or '?'} | `{variant}` | {kernels} | `{variant.symbolic_cost()}` |"
+
+
+def chain_report(
+    chain: Chain,
+    selected: Optional[Sequence[Variant]] = None,
+    num_instances: int = 500,
+    seed: int = 0,
+    preview_instances: int = 3,
+) -> str:
+    """Produce a markdown report summarizing the chain's compilation."""
+    rng = np.random.default_rng(seed)
+    instances = sample_instances(chain, num_instances, rng, low=2, high=1000)
+    variants = all_variants(chain)
+    matrix = CostMatrix(variants, instances)
+    if selected is None:
+        selected = essential_set(chain, cost_matrix=matrix)
+    selected_sigs = {v.signature() for v in selected}
+    frequencies = win_frequencies(matrix)
+
+    lines: list[str] = []
+    out = lines.append
+    out(f"# Compilation report: `{chain}`")
+    out("")
+    out("## Shape")
+    out("")
+    out("| matrix | structure | property | operator | square |")
+    out("|---|---|---|---|---|")
+    for operand in chain:
+        out(
+            f"| {operand.matrix.name} | {operand.matrix.structure.value} "
+            f"| {operand.matrix.prop.value} | {operand.op.name} "
+            f"| {'yes' if operand.is_square else 'no'} |"
+        )
+    out("")
+    classes = ", ".join(
+        "{" + ", ".join(f"q{i}" for i in cls) + "}"
+        for cls in chain.equivalence_classes()
+    )
+    out(f"Size-symbol equivalence classes: {classes}")
+    out(f"Parenthesizations: {len(variants)}; selected variants: {len(selected)}")
+    out("")
+    out("## Selected variants (Theorem 2 base set)")
+    out("")
+    out("| name | parenthesization | kernels | symbolic FLOP cost |")
+    out("|---|---|---|---|")
+    for variant in selected:
+        out(_variant_row(variant))
+    out("")
+    out("## Empirical win frequencies")
+    out("")
+    out(
+        f"Over {num_instances} instances with sizes in [2, 1000] "
+        f"(fraction of instances on which each variant is optimal):"
+    )
+    out("")
+    out("| variant | wins | in selected set |")
+    out("|---|---|---|")
+    ranked = sorted(frequencies.items(), key=lambda kv: -kv[1])
+    for index, frequency in ranked:
+        if frequency == 0.0:
+            continue
+        variant = matrix.variants[index]
+        mark = "yes" if variant.signature() in selected_sigs else ""
+        out(f"| {variant.name or index} `{variant}` | {100 * frequency:.1f}% | {mark} |")
+    out("")
+    out("## Dispatch preview")
+    out("")
+    out("| instance q | best selected variant | cost (FLOPs) | ratio over optimal |")
+    out("|---|---|---|---|")
+    sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+    selected_idx = [sig_to_idx[v.signature()] for v in selected]
+    for row in range(min(preview_instances, instances.shape[0])):
+        q = instances[row]
+        column = matrix.costs[:, row]
+        sub = [(i, column[i]) for i in selected_idx]
+        best_i, best_cost = min(sub, key=lambda pair: pair[1])
+        ratio = best_cost / matrix.optimal[row]
+        out(
+            f"| {list(int(x) for x in q)} | {matrix.variants[best_i].name or best_i} "
+            f"| {best_cost:,.0f} | {ratio:.3f} |"
+        )
+    out("")
+    return "\n".join(lines)

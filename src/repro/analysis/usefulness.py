@@ -1,0 +1,93 @@
+"""Empirical variant-usefulness studies.
+
+The paper builds on López et al.'s result that for matrix chains *all*
+parenthesizations are useful (each is strictly best somewhere) while *few*
+are essential (only ``n + 1`` are needed for bounded penalty).  These
+helpers quantify both notions empirically for generalized chains:
+
+* :func:`win_frequencies` — how often each variant is (near-)optimal;
+* :func:`useful_variants` — variants that win on at least one sampled
+  instance;
+* :func:`dominated_variants` — variants that are never strictly better
+  than every other variant (empirically superfluous on the sample);
+* :func:`empirical_essential_subset` — a greedy probe for a minimal
+  subset whose maximum penalty on the sample stays below a bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.selection import CostMatrix
+from repro.compiler.variant import Variant
+
+
+def win_frequencies(
+    matrix: CostMatrix, tolerance: float = 1e-9
+) -> dict[int, float]:
+    """Fraction of instances on which each variant is within tolerance of
+    the optimum.  Keys are variant indices in the cost matrix."""
+    wins = matrix.costs <= matrix.optimal * (1.0 + tolerance)
+    return {
+        i: float(wins[i].mean()) for i in range(len(matrix.variants))
+    }
+
+
+def useful_variants(
+    matrix: CostMatrix, tolerance: float = 1e-9
+) -> list[Variant]:
+    """Variants that are optimal on at least one sampled instance."""
+    frequencies = win_frequencies(matrix, tolerance)
+    return [
+        matrix.variants[i]
+        for i, frequency in frequencies.items()
+        if frequency > 0.0
+    ]
+
+
+def dominated_variants(
+    matrix: CostMatrix, tolerance: float = 1e-9
+) -> list[Variant]:
+    """Variants never strictly optimal on the sample (complement of useful)."""
+    frequencies = win_frequencies(matrix, tolerance)
+    return [
+        matrix.variants[i]
+        for i, frequency in frequencies.items()
+        if frequency == 0.0
+    ]
+
+
+def empirical_essential_subset(
+    matrix: CostMatrix,
+    initial: Sequence[Variant],
+    penalty_bound: float = 15.0,
+) -> list[Variant]:
+    """Greedily shrink a variant set while its max penalty stays bounded.
+
+    Starting from ``initial`` (typically the fanning-out set), repeatedly
+    try removing the member whose removal increases the maximum penalty on
+    the sample the least; stop when any removal would push the penalty
+    above ``penalty_bound``.  This is an *empirical* probe — true
+    essentiality is a statement over all infinitely many instances — but on
+    dense samples it recovers the per-equivalence-class structure of
+    Theorem 2.
+    """
+    sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+    current = [sig_to_idx[v.signature()] for v in initial]
+    if not current:
+        return []
+    while len(current) > 1:
+        best_removal = None
+        best_penalty = float("inf")
+        for candidate in current:
+            remaining = [i for i in current if i != candidate]
+            worst = matrix.max_penalty(remaining)
+            if worst < best_penalty:
+                best_penalty = worst
+                best_removal = candidate
+        if best_removal is None or best_penalty > penalty_bound:
+            break
+        current = [i for i in current if i != best_removal]
+    return [matrix.variants[i] for i in current]

@@ -1,0 +1,262 @@
+"""High-level facade: the code generator of Fig. 1 in one call.
+
+:func:`compile_chain` takes a symbolic chain (or a program in the Fig. 2
+input language), runs the full pipeline — simplification rewrites, essential
+set selection per Theorem 2, optional greedy expansion per Algorithm 1 —
+and returns a :class:`GeneratedCode` object bundling the variants, their
+cost functions, the run-time dispatcher, and the C++ emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.ir.parser import parse_chain
+from repro.ir.rewrites import simplify_chain
+from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
+from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.compiler.variant import Variant
+from repro.experiments.sampling import sample_instances
+
+
+@dataclass
+class GeneratedCode:
+    """The output of the code generator for one chain shape.
+
+    Holds the selected variants (each the analogue of one generated C++
+    function plus its cost function) and the dispatcher.  Calling the object
+    evaluates an instance end to end: infer sizes, select the cheapest
+    variant, execute it through the kernel substrate.
+    """
+
+    chain: Chain
+    variants: list[Variant]
+    dispatcher: Dispatcher
+    training_instances: np.ndarray
+
+    def __call__(self, *arrays) -> np.ndarray:
+        return self.dispatcher(*arrays)
+
+    def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
+        """The variant the dispatcher would pick for an instance."""
+        return self.dispatcher.select(sizes)
+
+    def cpp_source(self, function_name: str = "evaluate_chain") -> str:
+        """Emit the generated C++ translation unit (variants + dispatch)."""
+        from repro.codegen.cpp_emitter import emit_cpp
+
+        return emit_cpp(self.chain, self.variants, function_name=function_name)
+
+    def python_source(self) -> str:
+        """Emit a standalone Python module (numpy/scipy only) equivalent."""
+        from repro.codegen.python_emitter import emit_python
+
+        return emit_python(self.chain, self.variants)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the compiled variants (ship once, load anywhere)."""
+        from repro.codegen import serialize
+
+        return serialize.dumps(self.chain, self.variants, indent=indent)
+
+    @staticmethod
+    def from_json(payload: str, cost_estimator: CostEstimator = flop_estimator) -> "GeneratedCode":
+        """Rebuild generated code from :meth:`to_json` output."""
+        from repro.codegen import serialize
+
+        chain, variants = serialize.loads(payload)
+        dispatcher = Dispatcher(chain, variants, cost_estimator=cost_estimator)
+        return GeneratedCode(
+            chain=chain,
+            variants=variants,
+            dispatcher=dispatcher,
+            training_instances=np.empty((0, chain.n + 1)),
+        )
+
+    def report(self, num_instances: int = 300, seed: int = 0) -> str:
+        """Markdown compilation report (variants, costs, win frequencies)."""
+        from repro.analysis.report import chain_report
+
+        return chain_report(
+            self.chain, self.variants, num_instances=num_instances, seed=seed
+        )
+
+    def describe(self) -> str:
+        lines = [f"generated code for chain {self.chain}"]
+        for variant in self.variants:
+            lines.append(variant.describe())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+
+def compile_chain(
+    chain,
+    *,
+    expand_by: int = 0,
+    training_instances: Optional[np.ndarray] = None,
+    num_training_instances: int = 1000,
+    size_range: tuple[int, int] = (2, 1000),
+    objective: str = "avg",
+    cost_estimator: CostEstimator = flop_estimator,
+    seed: int = 0,
+    simplify: bool = True,
+) -> GeneratedCode:
+    """Compile a symbolic chain into multi-versioned generated code.
+
+    Parameters
+    ----------
+    chain:
+        A :class:`~repro.ir.chain.Chain`, or a string in the input language
+        of Fig. 2 (matrix definitions followed by the chain expression).
+    expand_by:
+        How many extra variants to add beyond the Theorem 2 base set with
+        the greedy expansion of Algorithm 1 (``E_s1`` has ``expand_by=1``,
+        ``E_s2`` has ``expand_by=2``, ...).
+    training_instances:
+        Instances used for representative selection and expansion; sampled
+        uniformly from ``size_range`` when omitted.
+    objective:
+        ``"avg"`` (average penalty) or ``"max"`` (maximum penalty).
+    cost_estimator:
+        The cost function the run-time dispatcher uses (FLOPs by default;
+        plug in a performance-model estimator for time-based dispatch).
+    """
+    if isinstance(chain, str):
+        chain = parse_chain(chain)
+    if not isinstance(chain, Chain):
+        raise CompilationError(
+            f"expected a Chain or program source, got {type(chain).__name__}"
+        )
+    if simplify:
+        chain = simplify_chain(chain)
+
+    if training_instances is None:
+        rng = np.random.default_rng(seed)
+        training_instances = sample_instances(
+            chain, num_training_instances, rng, low=size_range[0], high=size_range[1]
+        )
+
+    if chain.n == 1:
+        variants = [_single_variant(chain)]
+    else:
+        matrix = CostMatrix(all_variants(chain), training_instances)
+        variants = essential_set(
+            chain, cost_matrix=matrix, objective=objective
+        )
+        if expand_by > 0:
+            scorer = AveragePenalty if objective == "avg" else MaxPenalty
+            variants = expand_set(
+                matrix,
+                variants,
+                max_size=len(variants) + expand_by,
+                objective=lambda m, idx: scorer(m, idx),
+            )
+
+    dispatcher = Dispatcher(chain, variants, cost_estimator=cost_estimator)
+    return GeneratedCode(
+        chain=chain,
+        variants=variants,
+        dispatcher=dispatcher,
+        training_instances=np.asarray(training_instances),
+    )
+
+
+def _single_variant(chain: Chain) -> Variant:
+    """The (only) variant of a one-matrix chain: unary fix-ups."""
+    from repro.compiler.parenthesization import leaf
+    from repro.compiler.variant import build_variant
+
+    return build_variant(chain, leaf(0), name="single")
+
+
+# ---------------------------------------------------------------------------
+# Sums of chains: the future-work extension (see repro.ir.expression).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GeneratedExpression:
+    """Generated code for a sum of chains.
+
+    Each term owns its own multi-versioned :class:`GeneratedCode`; calling
+    the object evaluates every term on the shared named arrays (the same
+    matrix may appear in several terms) and accumulates the scaled results.
+    """
+
+    expression: "ChainSum"
+    term_codes: list[GeneratedCode]
+
+    def __call__(self, **arrays: np.ndarray) -> np.ndarray:
+        term_sizes = self.expression.term_sizes(arrays)
+        result: Optional[np.ndarray] = None
+        for term, generated, sizes in zip(
+            self.expression, self.term_codes, term_sizes
+        ):
+            term_arrays = [
+                np.asarray(arrays[op.matrix.name]) for op in generated.chain
+            ]
+            value = term.coefficient * generated(*term_arrays)
+            result = value if result is None else result + value
+        assert result is not None
+        return result
+
+    def flop_cost(self, arrays: Mapping[str, np.ndarray]) -> float:
+        """Dispatched FLOP cost of evaluating the expression on arrays."""
+        term_sizes = self.expression.term_sizes(arrays)
+        total = 0.0
+        rows = cols = 0
+        for generated, sizes in zip(self.term_codes, term_sizes):
+            _, cost = generated.select(sizes)
+            total += cost
+            rows, cols = sizes[0], sizes[-1]
+        return total + self.expression.addition_flops(rows, cols)
+
+    def describe(self) -> str:
+        lines = [f"generated code for expression {self.expression}"]
+        for term, generated in zip(self.expression, self.term_codes):
+            lines.append(f"term {term}:")
+            for variant in generated.variants:
+                lines.append("  " + variant.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.term_codes)
+
+
+def compile_expression(expression, **kwargs) -> GeneratedExpression:
+    """Compile a sum of chains; see :func:`compile_chain` for the knobs.
+
+    ``expression`` may be a :class:`~repro.ir.expression.ChainSum` or
+    program source whose expression has one or more terms.  Each term's
+    chain goes through the full pipeline (simplification, Theorem 2
+    selection, optional expansion); term results are accumulated at run
+    time.
+
+    A term whose chain simplifies to the identity matrix is rejected
+    (:class:`ShapeError`), as for single-chain compilation.
+    """
+    from repro.ir.expression import ChainSum
+    from repro.ir.parser import parse_expression
+
+    if isinstance(expression, str):
+        expression = parse_expression(expression)
+    if isinstance(expression, Chain):
+        from repro.ir.expression import ChainTerm
+
+        expression = ChainSum((ChainTerm(1.0, expression),))
+    if not isinstance(expression, ChainSum):
+        raise CompilationError(
+            f"expected a ChainSum or program source, got "
+            f"{type(expression).__name__}"
+        )
+    term_codes = [
+        compile_chain(term.chain, **kwargs) for term in expression.terms
+    ]
+    return GeneratedExpression(expression=expression, term_codes=term_codes)

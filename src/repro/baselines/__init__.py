@@ -1,0 +1,6 @@
+"""Reference evaluation strategies the paper compares against."""
+
+from repro.baselines.armadillo import ArmadilloEvaluator
+from repro.baselines.online import OnlineSearchEvaluator
+
+__all__ = ["ArmadilloEvaluator", "OnlineSearchEvaluator"]

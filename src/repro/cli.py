@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``compile`` — compile a program in the Fig. 2 input language and show the
+  selected variants, their symbolic costs, and (optionally) the generated
+  C++ code.
+* ``fig5`` — run Experiment A (FLOPs, paper Fig. 5) and print the summary
+  statistics and eCDF samples.
+* ``fig6`` — run Experiment B (execution time, paper Fig. 6).
+* ``table1`` — print the kernel database (paper Table I).
+* ``header`` — emit the ``gmc_kernels.hpp`` kernel API header.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.api import compile_chain, compile_expression
+    from repro.ir.parser import parse_program
+
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        source = args.source
+    if not source:
+        print("error: provide --file or --source", file=sys.stderr)
+        return 2
+
+    program = parse_program(source)
+    if len(program.expression) > 1 or (
+        program.expression.terms[0].coefficient != 1.0
+    ):
+        generated = compile_expression(
+            program.expression,
+            expand_by=args.expand,
+            num_training_instances=args.train,
+            seed=args.seed,
+        )
+        print(generated.describe())
+        if args.cpp:
+            print()
+            for i, code in enumerate(generated.term_codes):
+                print(code.cpp_source(function_name=f"{args.function_name}_term{i}"))
+        return 0
+
+    generated = compile_chain(
+        program.chain,
+        expand_by=args.expand,
+        num_training_instances=args.train,
+        seed=args.seed,
+    )
+    print(generated.describe())
+    print()
+    for variant in generated.variants:
+        print(f"cost[{variant.name}] = {variant.symbolic_cost()}")
+    if args.cpp:
+        print()
+        print(generated.cpp_source(function_name=args.function_name))
+    return 0
+
+
+def _print_ecdf(name: str, ecdf, xs) -> None:
+    curve = ", ".join(f"{x:g}:{100 * y:.1f}%" for x, y in ecdf.curve(xs))
+    print(f"  eCDF[{name}] {curve}  (max {ecdf.max:.2f})")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.flops_experiment import run_flops_experiment
+
+    result = run_flops_experiment(
+        n_values=tuple(args.n),
+        shapes_per_n=None if args.full else args.shapes,
+        train_instances=args.train,
+        val_instances=args.val,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    print("Experiment A (Fig. 5): ratio over optimal number of FLOPs")
+    print(result.summary_table())
+    xs = (1.0, 1.05, 1.1, 1.2, 1.3, 1.4, 1.5)
+    for n in sorted(result.ratios):
+        print(f"n = {n}:")
+        for set_name in result.ratios[n]:
+            _print_ecdf(set_name, result.ecdf(n, set_name), xs)
+    if args.plot:
+        from repro.experiments.figures import render_fig5
+
+        for n in sorted(result.ratios):
+            print()
+            print(render_fig5(result, n))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.time_experiment import run_time_experiment
+
+    result = run_time_experiment(
+        num_shapes=args.shapes,
+        train_instances=args.train,
+        val_instances=args.val,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    print("Experiment B (Fig. 6): ratio over optimal execution time")
+    print(result.summary_table())
+    xs = (1.0, 1.1, 1.5, 2.0, 2.5, 3.0)
+    for set_name in result.ratios:
+        _print_ecdf(set_name, result.ecdf(set_name), xs)
+    if args.plot:
+        from repro.experiments.figures import render_fig6
+
+        print()
+        print(render_fig6(result))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.kernels.spec import KERNELS
+
+    print(f"{'kernel':<10} {'kind':<8} {'BLAS':<5} {'cost (left / cheap)':<24} type")
+    print("-" * 70)
+    for kernel in KERNELS.values():
+        cost = kernel.cost(side="left", cheap=True)
+        print(
+            f"{kernel.name:<10} {kernel.kind:<8} "
+            f"{'yes' if kernel.in_blas else 'no':<5} "
+            f"{str(cost):<24} {cost.cost_type.value}"
+        )
+    return 0
+
+
+def _cmd_header(args: argparse.Namespace) -> int:
+    from repro.codegen.cpp_emitter import emit_kernels_header
+
+    print(emit_kernels_header())
+    return 0
+
+
+def _read_source(args: argparse.Namespace) -> str | None:
+    if args.file:
+        with open(args.file) as handle:
+            return handle.read()
+    return args.source
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.api import compile_chain
+
+    source = _read_source(args)
+    if not source:
+        print("error: provide --file or --source", file=sys.stderr)
+        return 2
+    generated = compile_chain(
+        source, num_training_instances=args.train, seed=args.seed
+    )
+    print(generated.report(num_instances=args.instances, seed=args.seed))
+    return 0
+
+
+def _cmd_pygen(args: argparse.Namespace) -> int:
+    from repro.api import compile_chain
+
+    source = _read_source(args)
+    if not source:
+        print("error: provide --file or --source", file=sys.stderr)
+        return 2
+    generated = compile_chain(
+        source,
+        expand_by=args.expand,
+        num_training_instances=args.train,
+        seed=args.seed,
+    )
+    print(generated.python_source())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GMC symbolic-size compiler (CGO 2026 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a chain program")
+    p.add_argument("--file", help="path to a program in the Fig. 2 language")
+    p.add_argument("--source", help="inline program source")
+    p.add_argument("--expand", type=int, default=0, help="extra variants (Alg. 1)")
+    p.add_argument("--train", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cpp", action="store_true", help="emit generated C++")
+    p.add_argument("--function-name", default="evaluate_chain")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("fig5", help="Experiment A: FLOPs (Fig. 5)")
+    p.add_argument("--n", type=int, nargs="+", default=[5, 6, 7])
+    p.add_argument("--shapes", type=int, default=50, help="shapes per n")
+    p.add_argument("--full", action="store_true", help="enumerate all shapes")
+    p.add_argument("--train", type=int, default=2000)
+    p.add_argument("--val", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--plot", action="store_true", help="ASCII eCDF charts")
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="Experiment B: execution time (Fig. 6)")
+    p.add_argument("--shapes", type=int, default=100)
+    p.add_argument("--train", type=int, default=2000)
+    p.add_argument("--val", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--plot", action="store_true", help="ASCII eCDF chart")
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("table1", help="print the kernel database (Table I)")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("analyze", help="markdown compilation report for a chain")
+    p.add_argument("--file", help="path to a program in the Fig. 2 language")
+    p.add_argument("--source", help="inline program source")
+    p.add_argument("--train", type=int, default=500)
+    p.add_argument("--instances", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("pygen", help="emit standalone Python generated code")
+    p.add_argument("--file", help="path to a program in the Fig. 2 language")
+    p.add_argument("--source", help="inline program source")
+    p.add_argument("--expand", type=int, default=0)
+    p.add_argument("--train", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_pygen)
+
+    p = sub.add_parser("header", help="emit gmc_kernels.hpp")
+    p.set_defaults(func=_cmd_header)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

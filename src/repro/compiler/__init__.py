@@ -1,0 +1,79 @@
+"""The code generator core: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.compiler.parenthesization` — expression trees, Catalan
+  enumeration, fanning-out trees, leftmost-first linearization (§III-B).
+* :mod:`repro.compiler.states` — symbolic operand states and the
+  four-step association procedure (§IV).
+* :mod:`repro.compiler.variant` — variants (sequences of kernel calls) and
+  their FLOP cost functions (§III-C, §IV).
+* :mod:`repro.compiler.selection` — fanning-out variants, equivalence
+  classes, the essential set of Theorem 2, and penalties (§V).
+* :mod:`repro.compiler.expansion` — the greedy ExpandSet procedure
+  (Algorithm 1, §VI).
+* :mod:`repro.compiler.dp` — the generalized matrix chain dynamic program
+  for concrete sizes (the Linnea-style optimal search used as baseline).
+* :mod:`repro.compiler.dispatch` — the runtime variant dispatcher (Fig. 1).
+* :mod:`repro.compiler.executor` — executes a variant on concrete NumPy
+  matrices through the kernel reference implementations.
+"""
+
+from repro.compiler.parenthesization import (
+    ParenTree,
+    enumerate_trees,
+    left_to_right_tree,
+    right_to_left_tree,
+    fanning_out_tree,
+    linearize,
+)
+from repro.compiler.variant import Variant, build_variant
+from repro.compiler.selection import (
+    all_variants,
+    fanning_out_variants,
+    essential_set,
+    left_to_right_variant,
+    optimal_cost,
+    penalty,
+)
+from repro.compiler.expansion import expand_set, AveragePenalty, MaxPenalty
+from repro.compiler.dispatch import Dispatcher
+from repro.compiler.executor import execute_variant, random_instance_arrays
+from repro.compiler.dp import dp_optimal_cost, dp_optimal_plan
+from repro.compiler.memory import MemoryPlan, peak_workspace_bytes, plan_memory
+from repro.compiler.validation import (
+    VariantVerificationError,
+    verify_or_report,
+    verify_variant,
+)
+
+__all__ = [
+    "ParenTree",
+    "enumerate_trees",
+    "left_to_right_tree",
+    "right_to_left_tree",
+    "fanning_out_tree",
+    "linearize",
+    "Variant",
+    "build_variant",
+    "all_variants",
+    "fanning_out_variants",
+    "essential_set",
+    "left_to_right_variant",
+    "optimal_cost",
+    "penalty",
+    "expand_set",
+    "AveragePenalty",
+    "MaxPenalty",
+    "Dispatcher",
+    "execute_variant",
+    "random_instance_arrays",
+    "dp_optimal_cost",
+    "dp_optimal_plan",
+    "MemoryPlan",
+    "peak_workspace_bytes",
+    "plan_memory",
+    "VariantVerificationError",
+    "verify_or_report",
+    "verify_variant",
+]

@@ -1,0 +1,84 @@
+"""The run-time dispatch function (paper Fig. 1).
+
+At run time, the application calls the dispatch function with concrete
+matrices.  The dispatcher evaluates the cost function of every generated
+variant on the observed sizes and passes control to the cheapest one.
+
+The cost function is pluggable: by default it is the FLOP cost; the
+execution-time experiment plugs in performance-model estimates instead
+(Section VII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DispatchError
+from repro.ir.chain import Chain
+from repro.compiler.executor import execute_variant, infer_sizes
+from repro.compiler.variant import Variant
+
+#: Maps (variant, sizes) to an estimated cost; lower is better.
+CostEstimator = Callable[[Variant, Sequence[int]], float]
+
+
+def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
+    """The default cost estimator: analytic FLOP count."""
+    return variant.flop_cost(sizes)
+
+
+class Dispatcher:
+    """Multi-versioned evaluator for one chain shape.
+
+    This object plays the role of the generated dispatch function: it owns
+    the ``k`` generated variants (with their cost functions) and, per call,
+    selects and executes the best variant for the observed matrix sizes.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        variants: Sequence[Variant],
+        cost_estimator: CostEstimator = flop_estimator,
+    ):
+        if not variants:
+            raise DispatchError("a dispatcher needs at least one variant")
+        for variant in variants:
+            if variant.chain is not chain and variant.chain != chain:
+                raise DispatchError(
+                    f"variant {variant.name!r} was built for a different chain"
+                )
+        self.chain = chain
+        self.variants = list(variants)
+        self.cost_estimator = cost_estimator
+
+    def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
+        """The best variant and its estimated cost for an instance."""
+        q = self.chain.validate_sizes(sizes)
+        best: Optional[Variant] = None
+        best_cost = float("inf")
+        for variant in self.variants:
+            cost = self.cost_estimator(variant, q)
+            if cost < best_cost:
+                best, best_cost = variant, cost
+        assert best is not None
+        return best, best_cost
+
+    def costs(self, sizes: Sequence[int]) -> list[tuple[str, float]]:
+        """Estimated cost of every variant (for inspection/debugging)."""
+        q = self.chain.validate_sizes(sizes)
+        return [(v.name or str(i), self.cost_estimator(v, q))
+                for i, v in enumerate(self.variants)]
+
+    def __call__(self, *arrays: np.ndarray) -> np.ndarray:
+        """Evaluate the chain: infer sizes, pick the best variant, run it."""
+        if len(arrays) == 1 and isinstance(arrays[0], (list, tuple)):
+            arrays = tuple(arrays[0])
+        sizes = infer_sizes(self.chain, [np.asarray(a) for a in arrays])
+        variant, _ = self.select(sizes)
+        return execute_variant(variant, list(arrays))
+
+    def __len__(self) -> int:
+        return len(self.variants)

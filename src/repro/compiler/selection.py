@@ -1,0 +1,197 @@
+"""Variant selection theory (paper Section V).
+
+Implements:
+
+* enumeration of all variants (one per parenthesization, via the
+  deterministic construction of Section IV);
+* the fanning-out variants ``E_h`` and the full fanning-out set ``E``
+  (``n - 1`` distinct members for ``n <= 3``, ``n + 1`` otherwise);
+* the essential set ``E_s`` of Theorem 2: one fanning-out variant per
+  size-symbol equivalence class, with representatives chosen greedily to
+  minimize an objective over a training set of instances;
+* penalties ``P(Z, q)`` and empirical total penalties over instance sets;
+* the left-to-right reference variant ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.compiler.parenthesization import (
+    enumerate_trees,
+    fanning_out_tree,
+    left_to_right_tree,
+)
+from repro.compiler.variant import Variant, build_variant
+
+#: Worst-case bound on the constant of Lemma 2 (``alpha-hat <= 8``), hence
+#: ``T(E_m, q) < 16 T_opt`` and the total penalty of E is at most 15.
+LEMMA2_FACTOR = 16.0
+TOTAL_PENALTY_BOUND = 15.0
+
+
+def all_variants(chain: Chain) -> list[Variant]:
+    """One variant per parenthesization: the paper's full set ``A``."""
+    return [
+        build_variant(chain, tree, name=f"P{i}")
+        for i, tree in enumerate(enumerate_trees(chain.n))
+    ]
+
+
+def left_to_right_variant(chain: Chain) -> Variant:
+    """The in-house left-to-right reference ``L`` (equals ``E_0``)."""
+    return build_variant(chain, left_to_right_tree(chain.n), name="L")
+
+
+def fanning_out_variants(chain: Chain) -> dict[int, Variant]:
+    """The distinct fanning-out variants ``E_h`` keyed by ``h``.
+
+    Duplicate parenthesizations (which occur for ``n <= 3``) are dropped,
+    keeping the smallest ``h``; the result has ``n - 1`` members for
+    ``n <= 3`` and ``n + 1`` members otherwise.
+    """
+    seen: dict[object, int] = {}
+    variants: dict[int, Variant] = {}
+    for h in range(chain.n + 1):
+        tree = fanning_out_tree(chain.n, h)
+        key = _tree_key(tree)
+        if key in seen:
+            continue
+        seen[key] = h
+        variants[h] = build_variant(chain, tree, name=f"E{h}")
+    return variants
+
+
+def _tree_key(tree) -> object:
+    if tree.is_leaf:
+        return tree.lo
+    return (_tree_key(tree.left), _tree_key(tree.right))
+
+
+# ---------------------------------------------------------------------------
+# Penalties.
+# ---------------------------------------------------------------------------
+
+def optimal_cost(chain: Chain, sizes: Sequence[int]) -> float:
+    """``min_{A in A} T(A, q)``: optimum over all parenthesizations."""
+    return min(v.flop_cost(sizes) for v in all_variants(chain))
+
+
+def penalty(
+    selected: Sequence[Variant], chain: Chain, sizes: Sequence[int]
+) -> float:
+    """Penalty ``P(Z, q)`` of eq. (2): relative cost increase over optimal."""
+    if not selected:
+        return float("inf")
+    best_selected = min(v.flop_cost(sizes) for v in selected)
+    return best_selected / optimal_cost(chain, sizes) - 1.0
+
+
+class CostMatrix:
+    """Pre-evaluated costs of many variants on many instances.
+
+    The expansion procedure and the experiments repeatedly need
+    ``min_{Z in S} T(Z, q_i)`` for varying subsets ``S``; precomputing the
+    full ``(num_variants, num_instances)`` cost matrix makes each subset
+    evaluation a cheap row-wise minimum.
+    """
+
+    def __init__(
+        self,
+        variants: Sequence[Variant],
+        instances: np.ndarray,
+        evaluator: Optional[Callable[[Variant, np.ndarray], np.ndarray]] = None,
+    ):
+        """``evaluator(variant, instances) -> per-instance costs``.
+
+        Defaults to the FLOP cost; the execution-time experiment passes the
+        simulated machine's or the performance models' time estimates.
+        """
+        self.variants = list(variants)
+        self.instances = np.asarray(instances, dtype=np.float64)
+        if self.instances.ndim != 2:
+            raise ValueError("instances must be a 2-D (count, n+1) array")
+        if evaluator is None:
+            evaluator = lambda v, q: v.flop_cost_many(q)
+        self.costs = np.stack(
+            [evaluator(v, self.instances) for v in self.variants]
+        )
+        self.optimal = self.costs.min(axis=0)
+
+    @property
+    def num_instances(self) -> int:
+        return self.instances.shape[0]
+
+    def ratios(self, indices: Sequence[int]) -> np.ndarray:
+        """Per-instance ratio over optimal of the best variant in the subset."""
+        if len(indices) == 0:
+            return np.full(self.num_instances, np.inf)
+        subset = self.costs[np.asarray(indices, dtype=np.intp)]
+        return subset.min(axis=0) / self.optimal
+
+    def penalties(self, indices: Sequence[int]) -> np.ndarray:
+        return self.ratios(indices) - 1.0
+
+    def average_penalty(self, indices: Sequence[int]) -> float:
+        return float(self.penalties(indices).mean())
+
+    def max_penalty(self, indices: Sequence[int]) -> float:
+        return float(self.penalties(indices).max())
+
+
+def essential_set(
+    chain: Chain,
+    training_instances: Optional[np.ndarray] = None,
+    cost_matrix: Optional[CostMatrix] = None,
+    objective: str = "avg",
+) -> list[Variant]:
+    """Construct the Theorem 2 set ``E_s``: one ``E_h`` per equivalence class.
+
+    For each size-symbol equivalence class a representative ``q_h`` must be
+    picked; the theorem guarantees a finite total penalty for *any* choice,
+    so we pick greedily: classes are visited in order and, for each, the
+    candidate fanning-out variant that minimizes the objective (average or
+    maximum penalty) over the training set joins the set.  Classes whose
+    candidates coincide with an already-selected parenthesization (duplicate
+    fanning-out trees collapse) are skipped, which is why ``|E_s|`` can be
+    smaller than the number of classes.
+
+    ``cost_matrix`` must cover *all* variants of the chain (the set ``A``)
+    so that penalties are measured against the true optimum; if omitted, it
+    is built from ``training_instances``.
+    """
+    if cost_matrix is None:
+        if training_instances is None:
+            raise ValueError("provide training_instances or a cost_matrix")
+        cost_matrix = CostMatrix(all_variants(chain), training_instances)
+    sig_to_idx = {v.signature(): i for i, v in enumerate(cost_matrix.variants)}
+
+    candidates_by_h = {
+        h: build_variant(chain, fanning_out_tree(chain.n, h), name=f"E{h}")
+        for h in range(chain.n + 1)
+    }
+    score = (
+        cost_matrix.average_penalty if objective == "avg" else cost_matrix.max_penalty
+    )
+
+    selected: list[Variant] = []
+    selected_idx: list[int] = []
+    selected_sigs: set = set()
+    for cls in chain.equivalence_classes():
+        if any(candidates_by_h[h].signature() in selected_sigs for h in cls):
+            continue  # class already represented by a coinciding tree
+        best, best_value = None, float("inf")
+        for h in cls:
+            variant = candidates_by_h[h]
+            trial = selected_idx + [sig_to_idx[variant.signature()]]
+            value = score(trial)
+            if value < best_value:
+                best, best_value = variant, value
+        assert best is not None
+        selected.append(best)
+        selected_idx.append(sig_to_idx[best.signature()])
+        selected_sigs.add(best.signature())
+    return selected

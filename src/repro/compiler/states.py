@@ -1,0 +1,325 @@
+"""Symbolic operand states and the association procedure (paper Section IV).
+
+An :class:`OperandState` describes one operand of an association at
+compile time: its *logical* features (structure with transposition already
+accounted for, property), how its stored base value relates to the logical
+value (``inverted`` / ``transposed`` flags), and the size-symbol indices of
+its logical dimensions.
+
+:func:`associate` is the single source of truth for turning one association
+into a kernel call.  It implements the paper's four steps:
+
+1. *Propagation of inversion* — rewrites like
+   ``M1^-1 M2^-1 = (M2 M1)^-1`` and ``L G^-1 = (G L^-1)^-1`` that trade
+   expensive solves for cheap ones, leaving a pending inversion on the
+   result.
+2. *Kernel assignment* — the Fig. 3 lookup tables.
+3. *Propagation of transposition* — when the assigned kernel does not
+   support an operand's transposition pattern, rewrite
+   ``X Y = (Y^T X^T)^T`` and leave a pending transposition on the result.
+4. *Inference of features and sizes* — the Fig. 4 lookup tables.
+
+The same procedure drives the variant builder, the dynamic-programming
+optimizer, and the executor metadata, so all of them agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.kernels.cost import CostFunction
+from repro.kernels.spec import KernelSpec
+from repro.kernels.tables import lookup_product_kernel, lookup_solve_kernel
+from repro.inference.rules import infer_association_features
+
+#: Reference to an operand's base value: ("matrix", i) for input matrix
+#: ``M_{i+1}`` or ("step", j) for the result of the j-th association.
+SourceRef = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class OperandState:
+    """Compile-time description of one association operand."""
+
+    structure: Structure  #: logical structure (transposition accounted for)
+    prop: Property
+    inverted: bool  #: logical value is the inverse of the stored base
+    transposed: bool  #: stored base must be read transposed
+    rows: int  #: size-symbol index of the logical row dimension
+    cols: int  #: size-symbol index of the logical column dimension
+    square: bool  #: logical value is necessarily square
+    source: SourceRef
+
+    @property
+    def stored_structure(self) -> Structure:
+        """Structure of the stored base array (undo the logical transpose)."""
+        return self.structure.transposed if self.transposed else self.structure
+
+    def toggled_inverse(self) -> "OperandState":
+        """State of this operand's logical inverse.
+
+        Inversion preserves all tracked structures and properties and swaps
+        the (necessarily equal-valued) logical dimensions.
+        """
+        if not self.inverted and not self.prop.is_invertible:
+            raise CompilationError(
+                f"cannot take the inverse of a possibly-singular operand "
+                f"({self.structure.value}, {self.prop.value})"
+            )
+        return replace(
+            self, inverted=not self.inverted, rows=self.cols, cols=self.rows
+        )
+
+    def toggled_transpose(self) -> "OperandState":
+        """State of this operand's logical transpose."""
+        return replace(
+            self,
+            transposed=not self.transposed,
+            structure=self.structure.transposed,
+            rows=self.cols,
+            cols=self.rows,
+        )
+
+    def simplified(self) -> "OperandState":
+        """Apply the operator simplifications of Section III-A at state level.
+
+        * An inverted orthogonal operand becomes a transposed one
+          (``Q^-1 = Q^T``).
+        * A transposed symmetric operand drops the transposition
+          (``S^T = S``); note the logical value and dims are unchanged.
+        """
+        state = self
+        if state.inverted and state.prop is Property.ORTHOGONAL:
+            # Q^-1 = Q^T: same logical value, so logical dims stay put, but
+            # the stored base is now read transposed instead of inverted.
+            state = replace(state, inverted=False, transposed=not state.transposed)
+        if state.transposed and state.structure in (
+            Structure.SYMMETRIC,
+            Structure.DIAGONAL,
+        ):
+            state = replace(state, transposed=False)
+        return state
+
+
+def initial_states(chain: Chain) -> list[OperandState]:
+    """Operand states for the chain's input matrices."""
+    states = []
+    for i, operand in enumerate(chain):
+        state = OperandState(
+            structure=operand.structure,  # already transposition-effective
+            prop=operand.matrix.prop,
+            inverted=operand.inverted,
+            transposed=operand.transposed,
+            rows=i,
+            cols=i + 1,
+            square=operand.is_square,
+            source=("matrix", i),
+        ).simplified()
+        states.append(state)
+    return states
+
+
+@dataclass(frozen=True)
+class AssociationResult:
+    """Everything the compiler needs to know about one resolved association."""
+
+    kernel: KernelSpec
+    #: Side of the structured/coefficient operand ("left"/"right").
+    side: str
+    #: Whether the favourable cost case applies (triangularity-dependent).
+    cheap: bool
+    #: The operands as the kernel consumes them (post-rewrite order).
+    left: OperandState
+    right: OperandState
+    #: Size-symbol indices (m, k, n) of the actual kernel call.
+    call_dims: tuple[int, int, int]
+    cost: CostFunction
+    #: Pending operators propagated to the result.
+    pending_inverse: bool
+    pending_transpose: bool
+    result: OperandState
+
+
+def _is_cheap_inverse_target(state: OperandState) -> bool:
+    """Operands that make solving cheap: orthogonal, non-singular triangular,
+    or (extension) non-singular diagonal."""
+    if state.inverted:
+        return False
+    if state.prop is Property.ORTHOGONAL:
+        return True
+    cheap_structure = (
+        state.structure.is_triangular or state.structure is Structure.DIAGONAL
+    )
+    return cheap_structure and state.prop.is_invertible
+
+
+def _propagate_inversion(
+    left: OperandState, right: OperandState
+) -> tuple[OperandState, OperandState, bool]:
+    """Step 1: rewrite the association, possibly propagating an inversion.
+
+    Both rewrite cases reduce to the same transformation
+    ``X Y -> (Y^-1 X^-1)^-1``: swap the operands and toggle both inversion
+    flags, leaving a pending inversion on the result.
+    """
+    both = left.inverted and right.inverted
+    left_case = (
+        left.inverted
+        and not right.inverted
+        and left.structure in (Structure.GENERAL, Structure.SYMMETRIC)
+        and _is_cheap_inverse_target(right)
+    )
+    right_case = (
+        right.inverted
+        and not left.inverted
+        and right.structure in (Structure.GENERAL, Structure.SYMMETRIC)
+        and _is_cheap_inverse_target(left)
+    )
+    if both or left_case or right_case:
+        return right.toggled_inverse(), left.toggled_inverse(), True
+    return left, right, False
+
+
+def _structured_roles(
+    kernel: KernelSpec, left: OperandState, right: OperandState, side: str
+) -> tuple[bool, bool]:
+    """Transposability of (left, right) under the assigned kernel."""
+    if kernel.kind == "solve":
+        if side == "left":
+            return kernel.structured_transposable, kernel.other_transposable
+        return kernel.other_transposable, kernel.structured_transposable
+    # Products: the non-general operand plays the structured role; with two
+    # general (GEMM) or two equally-structured operands (SYSYMM, TRTRMM) both
+    # play the structured role.
+    left_general = left.structure is Structure.GENERAL
+    right_general = right.structure is Structure.GENERAL
+    if left_general and not right_general:
+        return kernel.other_transposable, kernel.structured_transposable
+    if right_general and not left_general:
+        return kernel.structured_transposable, kernel.other_transposable
+    return kernel.structured_transposable, kernel.structured_transposable
+
+
+def _assign_kernel(
+    left: OperandState, right: OperandState
+) -> tuple[KernelSpec, str]:
+    """Step 2: Fig. 3 lookup.  Returns (kernel, structured/coefficient side)."""
+    if left.inverted and right.inverted:
+        raise CompilationError(
+            "internal error: two inverted operands reached kernel assignment"
+        )
+    if left.inverted or right.inverted:
+        coeff, rhs, side = (
+            (left, right, "left") if left.inverted else (right, left, "right")
+        )
+        kernel = lookup_solve_kernel(coeff.structure, coeff.prop, rhs.structure)
+        return kernel, side
+    kernel = lookup_product_kernel(left.structure, right.structure)
+    left_general = left.structure is Structure.GENERAL
+    right_general = right.structure is Structure.GENERAL
+    if left_general and not right_general:
+        side = "right"
+    else:
+        side = "left"
+    return kernel, side
+
+
+def _cheap_case(
+    kernel: KernelSpec, side: str, left: OperandState, right: OperandState
+) -> bool:
+    """Which cost regime applies for kernels with two cost cases."""
+    if kernel.name == "TRTRMM":
+        return left.structure == right.structure
+    if kernel.name == "TRTRSV":
+        coeff, rhs = (left, right) if side == "left" else (right, left)
+        if rhs.structure is Structure.DIAGONAL:
+            return True  # a diagonal RHS has both triangularities
+        return coeff.structure == rhs.structure
+    if kernel.name in ("GETRSV", "POTRSV"):
+        rhs = right if side == "left" else left
+        if rhs.structure is Structure.DIAGONAL:
+            return True
+        if side == "left":
+            return rhs.structure is Structure.LOWER_TRIANGULAR
+        return rhs.structure is Structure.UPPER_TRIANGULAR
+    return True
+
+
+def associate(
+    left: OperandState,
+    right: OperandState,
+    same_class: Callable[[int, int], bool],
+    step_index: int,
+) -> AssociationResult:
+    """Resolve one association through the four-step procedure of Section IV.
+
+    ``same_class(i, j)`` reports whether size symbols ``q_i`` and ``q_j``
+    are bound by equality (needed for squareness of the result);
+    ``step_index`` labels the result's source reference.
+    """
+    logical_rows, logical_cols = left.rows, right.cols
+    result_square = same_class(logical_rows, logical_cols)
+
+    # Step 1: propagation of inversion (then re-simplify the operands,
+    # because toggling may have created e.g. an inverted orthogonal operand).
+    left, right, pending_inverse = _propagate_inversion(left, right)
+    left, right = left.simplified(), right.simplified()
+
+    # Step 2: kernel assignment.
+    kernel, side = _assign_kernel(left, right)
+
+    # Step 3: propagation of transposition.  If an operand is transposed and
+    # the kernel cannot consume it transposed, rewrite X Y = (Y^T X^T)^T.
+    pending_transpose = False
+    left_ok, right_ok = _structured_roles(kernel, left, right, side)
+    if (left.transposed and not left_ok) or (right.transposed and not right_ok):
+        left, right = right.toggled_transpose(), left.toggled_transpose()
+        left, right = left.simplified(), right.simplified()
+        pending_transpose = True
+        kernel, side = _assign_kernel(left, right)
+        left_ok, right_ok = _structured_roles(kernel, left, right, side)
+        if (left.transposed and not left_ok) or (right.transposed and not right_ok):
+            raise CompilationError(
+                f"transposition pattern not supported by {kernel.name} even "
+                f"after rewriting: {left} x {right}"
+            )
+
+    # Cost resolution.
+    cheap = _cheap_case(kernel, side, left, right)
+    cost = kernel.cost(side=side, cheap=cheap)
+    call_dims = (left.rows, left.cols, right.cols)
+
+    # Step 4: inference of features and sizes.  The tables are applied to the
+    # *computed* base value Z; pending operators then wrap it logically.
+    base_structure, base_prop = infer_association_features(
+        left.structure, left.prop, right.structure, right.prop, result_square
+    )
+    result_structure = (
+        base_structure.transposed if pending_transpose else base_structure
+    )
+    result = OperandState(
+        structure=result_structure,
+        prop=base_prop,
+        inverted=pending_inverse,
+        transposed=pending_transpose,
+        rows=logical_rows,
+        cols=logical_cols,
+        square=result_square,
+        source=("step", step_index),
+    )
+    return AssociationResult(
+        kernel=kernel,
+        side=side,
+        cheap=cheap,
+        left=left,
+        right=right,
+        call_dims=call_dims,
+        cost=cost,
+        pending_inverse=pending_inverse,
+        pending_transpose=pending_transpose,
+        result=result,
+    )

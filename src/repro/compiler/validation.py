@@ -1,0 +1,207 @@
+"""Static verification of compiled variants (an IR checker).
+
+A :class:`~repro.compiler.variant.Variant` is trusted by the executor, the
+cost model, and the code emitters; this module re-checks the invariants
+they rely on, independently of how the variant was produced (the Section IV
+builder, the DP reconstruction, or JSON deserialization):
+
+* **reference sanity** — steps only consume input matrices or earlier step
+  results, and every intermediate (except the final one) is consumed
+  exactly once (chains have no sharing without CSE);
+* **dimension chaining** — each step's operands agree on the contracted
+  size symbol and the result spans (left rows, right cols);
+* **kernel compatibility** — the assigned kernel supports the operands'
+  structures/inversion pattern per the Fig. 3 tables, and the recorded
+  transposition flags are within the kernel's supported patterns;
+* **triplet structure** — the association triplets form a valid
+  parenthesization evaluation order (each middle symbol is consumed once
+  and never reappears, per Section III-B).
+
+:func:`verify_variant` raises :class:`VariantVerificationError` with a
+precise message on the first violation; :func:`verify_or_report` collects
+all of them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.ir.features import Structure
+from repro.compiler.variant import Variant
+
+
+class VariantVerificationError(ReproError):
+    """A compiled variant violates an internal invariant."""
+
+
+def _check(condition: bool, message: str, errors: list[str]) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def _collect_errors(variant: Variant) -> list[str]:
+    errors: list[str] = []
+    chain = variant.chain
+    n = chain.n
+
+    if not variant.steps:
+        _check(
+            n == 1,
+            f"variant has no steps but the chain has {n} matrices",
+            errors,
+        )
+        return errors
+
+    _check(
+        len(variant.steps) == n - 1,
+        f"expected {n - 1} steps for {n} matrices, found {len(variant.steps)}",
+        errors,
+    )
+
+    consumed: dict[tuple[str, int], int] = {}
+    for step in variant.steps:
+        _check(
+            step.index == len([s for s in variant.steps if s.index < step.index]),
+            f"step indices must be dense and ordered (step {step.index})",
+            errors,
+        )
+        for ref in (step.left_ref, step.right_ref):
+            kind, index = ref
+            if kind == "matrix":
+                _check(
+                    0 <= index < n,
+                    f"step {step.index} references matrix {index} out of range",
+                    errors,
+                )
+            elif kind == "step":
+                _check(
+                    index < step.index,
+                    f"step {step.index} consumes a later/own result X{index}",
+                    errors,
+                )
+            else:
+                errors.append(f"step {step.index} has unknown ref kind {kind!r}")
+            consumed[ref] = consumed.get(ref, 0) + 1
+
+        # Dimension chaining of the actual kernel call.
+        _check(
+            step.left_state.cols == step.right_state.rows,
+            f"step {step.index}: contracted symbols disagree "
+            f"(q{step.left_state.cols} vs q{step.right_state.rows})",
+            errors,
+        )
+        _check(
+            step.call_dims
+            == (step.left_state.rows, step.left_state.cols, step.right_state.cols),
+            f"step {step.index}: call dims {step.call_dims} do not match "
+            f"operand states",
+            errors,
+        )
+
+        # Kernel compatibility.
+        left, right = step.left_state, step.right_state
+        _check(
+            not (left.inverted and right.inverted),
+            f"step {step.index}: two inverted operands reached a kernel call",
+            errors,
+        )
+        if step.kernel.kind == "solve":
+            coeff = left if step.side == "left" else right
+            rhs = right if step.side == "left" else left
+            _check(
+                coeff.inverted,
+                f"step {step.index}: solve kernel {step.kernel.name} whose "
+                f"{step.side} operand is not inverted",
+                errors,
+            )
+            _check(
+                not rhs.inverted,
+                f"step {step.index}: solve RHS is inverted",
+                errors,
+            )
+            _check(
+                coeff.prop.is_invertible,
+                f"step {step.index}: solving with a possibly singular "
+                f"coefficient",
+                errors,
+            )
+        elif step.kernel.kind == "product":
+            _check(
+                not left.inverted and not right.inverted,
+                f"step {step.index}: product kernel {step.kernel.name} with "
+                f"an inverted operand",
+                errors,
+            )
+
+        # Transposition support (Section IV step 3 guarantees this).
+        from repro.compiler.states import _structured_roles
+
+        left_ok, right_ok = _structured_roles(step.kernel, left, right, step.side)
+        _check(
+            (not left.transposed) or left_ok,
+            f"step {step.index}: {step.kernel.name} cannot consume its left "
+            f"operand transposed",
+            errors,
+        )
+        _check(
+            (not right.transposed) or right_ok,
+            f"step {step.index}: {step.kernel.name} cannot consume its right "
+            f"operand transposed",
+            errors,
+        )
+
+    # Consumption discipline: every intermediate except the last is used
+    # exactly once; the last step's result feeds the fix-ups/output.
+    last_index = variant.steps[-1].index
+    for step in variant.steps[:-1]:
+        uses = consumed.get(("step", step.index), 0)
+        _check(
+            uses == 1,
+            f"intermediate X{step.index} consumed {uses} times (expected 1)",
+            errors,
+        )
+    _check(
+        ("step", last_index) not in consumed,
+        f"final result X{last_index} must not be consumed by another step",
+        errors,
+    )
+
+    # Triplet discipline: middle symbols vanish after their association.
+    seen_middles: set[int] = set()
+    for step in variant.steps:
+        a, b, c = step.triplet
+        _check(a < b < c, f"step {step.index}: malformed triplet {step.triplet}", errors)
+        _check(
+            b not in seen_middles,
+            f"step {step.index}: middle symbol q{b} already consumed",
+            errors,
+        )
+        for middle in seen_middles:
+            _check(
+                middle not in (a, c),
+                f"step {step.index}: consumed symbol q{middle} reappears",
+                errors,
+            )
+        seen_middles.add(b)
+    final = variant.steps[-1].triplet
+    _check(
+        final[0] == 0 and final[2] == n,
+        f"final association {final} does not span the whole chain",
+        errors,
+    )
+
+    return errors
+
+
+def verify_or_report(variant: Variant) -> list[str]:
+    """All invariant violations of a variant (empty list when clean)."""
+    return _collect_errors(variant)
+
+
+def verify_variant(variant: Variant) -> None:
+    """Raise :class:`VariantVerificationError` if the variant is malformed."""
+    errors = _collect_errors(variant)
+    if errors:
+        raise VariantVerificationError(
+            f"variant {variant.name or '<anonymous>'} failed verification:\n  "
+            + "\n  ".join(errors)
+        )

@@ -1,0 +1,289 @@
+"""Code variants: sequences of kernel calls with cost functions (§III-C, §IV).
+
+A :class:`Variant` is the compile-time artifact generated for one
+parenthesization: an ordered sequence of :class:`Step` kernel calls (plus
+possible unary fix-up steps when an inversion or transposition is propagated
+all the way to the end result).  Each variant carries a FLOP cost function
+``T(A, q)`` over instances ``q`` — both as fast numeric evaluation and as a
+sympy expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.ir.features import Structure
+from repro.kernels.cost import CostFunction
+from repro.kernels.spec import COPY, TRANSPOSE, KernelSpec
+from repro.kernels.tables import lookup_inversion_kernel
+from repro.compiler.parenthesization import ParenTree, linearize
+from repro.compiler.states import (
+    AssociationResult,
+    OperandState,
+    SourceRef,
+    associate,
+    initial_states,
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One resolved kernel call inside a variant."""
+
+    index: int
+    kernel: KernelSpec
+    side: str
+    cheap: bool
+    #: Base-value references of the operands in kernel-call order.
+    left_ref: SourceRef
+    right_ref: SourceRef
+    #: Full operand states in kernel-call order (flags for the executor).
+    left_state: OperandState
+    right_state: OperandState
+    #: Canonical association triplet (a, b, c) of the original association.
+    triplet: tuple[int, int, int]
+    #: Size-symbol indices (m, k, n) of the actual kernel call.
+    call_dims: tuple[int, int, int]
+    cost: CostFunction
+    result_state: OperandState
+
+    def describe(self) -> str:
+        a, b, c = self.triplet
+        return (
+            f"X{self.index} := {self.kernel.name}"
+            f"[{self.side}{',cheap' if not self.cheap else ''}]"
+            f"(q{a}, q{b}, q{c})"
+        )
+
+
+@dataclass(frozen=True)
+class FixupStep:
+    """A unary fix-up applied to the final result (explicit inv/transpose)."""
+
+    kernel: KernelSpec
+    #: Size-symbol index the cost is charged on (square dimension).
+    dim: int
+    cost: CostFunction
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A generated code variant for one parenthesization of a chain."""
+
+    chain: Chain
+    tree: Optional[ParenTree]
+    steps: tuple[Step, ...]
+    fixups: tuple[FixupStep, ...]
+    final_state: OperandState
+    name: str = ""
+
+    # -- cost evaluation ------------------------------------------------------
+
+    @cached_property
+    def _flat_terms(self) -> tuple[tuple[float, tuple[tuple[int, int], ...]], ...]:
+        """Cost flattened to (coefficient, ((symbol index, exponent), ...))."""
+        flat: list[tuple[float, tuple[tuple[int, int], ...]]] = []
+        for step in self.steps:
+            m, k, n = step.call_dims
+            for term in step.cost.terms:
+                powers: dict[int, int] = {}
+                for sym, exp in ((m, term.em), (k, term.ek), (n, term.en)):
+                    if exp:
+                        powers[sym] = powers.get(sym, 0) + exp
+                flat.append((float(term.coeff), tuple(sorted(powers.items()))))
+        for fix in self.fixups:
+            for term in fix.cost.terms:
+                degree = term.em + term.ek + term.en
+                if degree:
+                    flat.append((float(term.coeff), ((fix.dim, degree),)))
+        return tuple(flat)
+
+    def flop_cost(self, sizes: Sequence[int]) -> float:
+        """Numeric FLOP cost ``T(A, q)`` on a concrete instance ``q``."""
+        total = 0.0
+        for coeff, powers in self._flat_terms:
+            value = coeff
+            for sym, exp in powers:
+                value *= sizes[sym] ** exp
+            total += value
+        return total
+
+    def flop_cost_many(self, instances: np.ndarray) -> np.ndarray:
+        """Vectorized cost over an ``(num_instances, n+1)`` size array."""
+        instances = np.asarray(instances, dtype=np.float64)
+        total = np.zeros(instances.shape[0])
+        for coeff, powers in self._flat_terms:
+            value = np.full(instances.shape[0], coeff)
+            for sym, exp in powers:
+                value *= instances[:, sym] ** exp
+            total += value
+        return total
+
+    def symbolic_cost(self):
+        """Exact symbolic FLOP cost as a sympy expression in ``q0 .. qn``."""
+        import sympy
+
+        symbols = sympy.symbols(
+            [f"q{i}" for i in range(self.chain.n + 1)], positive=True
+        )
+        total = sympy.Integer(0)
+        for step in self.steps:
+            m, k, n = (symbols[d] for d in step.call_dims)
+            total += step.cost.to_sympy(m, k, n)
+        for fix in self.fixups:
+            d = symbols[fix.dim]
+            total += fix.cost.to_sympy(d, d, d)
+        return sympy.expand(total)
+
+    # -- presentation ----------------------------------------------------------
+
+    @property
+    def triplets(self) -> tuple[tuple[int, int, int], ...]:
+        """The association triplets ``(a_i, b_i, c_i)`` in issue order."""
+        return tuple(step.triplet for step in self.steps)
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(step.kernel.name for step in self.steps) + tuple(
+            fix.kernel.name for fix in self.fixups
+        )
+
+    def signature(self) -> tuple:
+        """Hashable identity: the (kernel, triplet) sequence plus fix-ups."""
+        return (
+            tuple((s.kernel.name, s.side, s.triplet) for s in self.steps),
+            tuple((f.kernel.name, f.dim) for f in self.fixups),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing of the kernel call sequence."""
+        lines = [f"variant {self.name or '<anonymous>'} for chain {self.chain}"]
+        if self.tree is not None:
+            labels = [str(op) for op in self.chain]
+            lines.append(f"  parenthesization: {self.tree.render(labels)}")
+        for step in self.steps:
+            lines.append("  " + step.describe())
+        for fix in self.fixups:
+            lines.append(f"  finalize: {fix.kernel.name}(q{fix.dim})")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        if self.tree is not None:
+            return self.tree.render([str(op) for op in self.chain])
+        return self.name or "<variant>"
+
+
+def _make_same_class(chain: Chain):
+    classes = chain.equivalence_classes()
+    rep = {}
+    for cls in classes:
+        for member in cls:
+            rep[member] = cls[0]
+    return lambda i, j: rep[i] == rep[j]
+
+
+def _build_fixups(state: OperandState, chain: Chain) -> tuple[FixupStep, ...]:
+    """Explicit fix-ups when operators propagate to the end result (§IV)."""
+    fixups: list[FixupStep] = []
+    if state.inverted:
+        if not state.square:
+            raise CompilationError("cannot invert a non-square final result")
+        kernel = lookup_inversion_kernel(state.stored_structure, state.prop)
+        fixups.append(
+            FixupStep(kernel=kernel, dim=state.rows, cost=kernel.cost())
+        )
+    if state.transposed:
+        fixups.append(
+            FixupStep(kernel=TRANSPOSE, dim=state.rows, cost=TRANSPOSE.cost())
+        )
+    return tuple(fixups)
+
+
+def build_variant(chain: Chain, tree: ParenTree, name: str = "") -> Variant:
+    """Construct the unique variant for a parenthesization (Section IV).
+
+    The parenthesization's partial order is extended to a total order by
+    issuing the leftmost available association first; each association is
+    then resolved through the four-step procedure of
+    :func:`repro.compiler.states.associate`.
+    """
+    if tree.lo != 0 or tree.hi != chain.n - 1:
+        raise CompilationError(
+            f"tree spans matrices {tree.lo}..{tree.hi} but the chain has "
+            f"{chain.n} matrices"
+        )
+    same_class = _make_same_class(chain)
+    states = initial_states(chain)
+
+    if chain.n == 1:
+        return _single_matrix_variant(chain, states[0], name)
+
+    # Map from a node span to the state holding its computed value.
+    span_state: dict[tuple[int, int], OperandState] = {
+        (i, i): states[i] for i in range(chain.n)
+    }
+    steps: list[Step] = []
+    for index, node in enumerate(linearize(tree)):
+        assert node.left is not None and node.right is not None
+        left_state = span_state[(node.left.lo, node.left.hi)]
+        right_state = span_state[(node.right.lo, node.right.hi)]
+        result = associate(left_state, right_state, same_class, index)
+        steps.append(
+            Step(
+                index=index,
+                kernel=result.kernel,
+                side=result.side,
+                cheap=result.cheap,
+                left_ref=result.left.source,
+                right_ref=result.right.source,
+                left_state=result.left,
+                right_state=result.right,
+                triplet=node.triplet,
+                call_dims=result.call_dims,
+                cost=result.cost,
+                result_state=result.result,
+            )
+        )
+        span_state[(node.lo, node.hi)] = result.result
+
+    final_state = span_state[(0, chain.n - 1)]
+    fixups = _build_fixups(final_state, chain)
+    return Variant(
+        chain=chain,
+        tree=tree,
+        steps=tuple(steps),
+        fixups=fixups,
+        final_state=final_state,
+        name=name,
+    )
+
+
+def _single_matrix_variant(chain: Chain, state: OperandState, name: str) -> Variant:
+    """Degenerate chain of one matrix: resolve its unary operators directly."""
+    fixups: list[FixupStep] = list(_build_fixups(state, chain))
+    if not fixups:
+        fixups.append(FixupStep(kernel=COPY, dim=state.rows, cost=COPY.cost()))
+    resolved = OperandState(
+        structure=state.structure,
+        prop=state.prop,
+        inverted=False,
+        transposed=False,
+        rows=state.rows,
+        cols=state.cols,
+        square=state.square,
+        source=("step", 0),
+    )
+    return Variant(
+        chain=chain,
+        tree=None,
+        steps=(),
+        fixups=tuple(fixups),
+        final_state=resolved,
+        name=name or "single",
+    )

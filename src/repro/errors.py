@@ -1,0 +1,49 @@
+"""Exception hierarchy for the GMC compiler.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch one base class.  The subclasses mirror the pipeline stages: parsing
+the input program, validating matrix features, building variants, and
+executing generated code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """The input program does not conform to the grammar of Fig. 2."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+
+
+class InvalidFeaturesError(ReproError):
+    """A matrix combines structure, property, and operators illegally.
+
+    Examples: a *General* structure with the *SPD* property (SPD implies the
+    symmetric structure), or inversion applied to a *Singular* matrix.
+    """
+
+
+class ShapeError(ReproError):
+    """A chain is malformed (e.g. mismatching symbolic dimensions)."""
+
+
+class CompilationError(ReproError):
+    """Variant construction failed (no kernel covers an association)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime evaluation of a variant on concrete matrices failed."""
+
+
+class DispatchError(ReproError):
+    """The runtime dispatcher was called with an invalid instance."""

@@ -1,0 +1,28 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section VII)."""
+
+from repro.experiments.sampling import (
+    MATRIX_OPTIONS,
+    EXTENDED_MATRIX_OPTIONS,
+    RECTANGULAR_OPTION,
+    enumerate_shapes,
+    sample_shapes,
+    sample_instances,
+    option_to_operand,
+)
+from repro.experiments.ecdf import ECDF, summarize_ratios
+from repro.experiments.figures import render_ecdf_chart
+from repro.experiments.coverage import kernel_census
+
+__all__ = [
+    "MATRIX_OPTIONS",
+    "EXTENDED_MATRIX_OPTIONS",
+    "RECTANGULAR_OPTION",
+    "enumerate_shapes",
+    "sample_shapes",
+    "sample_instances",
+    "option_to_operand",
+    "ECDF",
+    "summarize_ratios",
+    "render_ecdf_chart",
+    "kernel_census",
+]

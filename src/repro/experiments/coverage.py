@@ -1,0 +1,108 @@
+"""Kernel usage census over the shape space.
+
+Which Table I kernels does the compiler actually emit, and how often?  The
+census walks shapes (enumerated or sampled), builds all (or selected)
+variants, and counts kernel occurrences — an empirical regeneration of
+Table I's "Associations" column, and a quick way to spot dead table entries
+after a change to the rewrite rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.compiler.selection import all_variants
+from repro.experiments.sampling import (
+    MATRIX_OPTIONS,
+    enumerate_shapes,
+    sample_shapes,
+)
+
+
+@dataclass(frozen=True)
+class KernelCensus:
+    """Kernel occurrence counts over a set of shapes."""
+
+    counts: Counter
+    shapes: int
+    variants: int
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.counts.values())
+
+    def frequency(self, kernel: str) -> float:
+        """Fraction of all emitted kernel calls using this kernel."""
+        if self.total_calls == 0:
+            return 0.0
+        return self.counts.get(kernel, 0) / self.total_calls
+
+    def unused_kernels(self) -> list[str]:
+        """Binary kernels from the registry that never appeared."""
+        from repro.kernels.spec import (
+            DIAGONAL_KERNELS,
+            PRODUCT_KERNELS,
+            SOLVE_KERNELS,
+        )
+
+        return sorted(
+            kernel.name
+            for kernel in (*PRODUCT_KERNELS, *SOLVE_KERNELS, *DIAGONAL_KERNELS)
+            if kernel.name not in self.counts
+        )
+
+    def format_table(self, top: Optional[int] = None) -> str:
+        rows = [f"{'kernel':<10} {'calls':>8} {'share':>7}"]
+        items = self.counts.most_common(top)
+        for kernel, count in items:
+            rows.append(
+                f"{kernel:<10} {count:>8} {100 * self.frequency(kernel):6.1f}%"
+            )
+        rows.append(
+            f"({self.shapes} shapes, {self.variants} variants, "
+            f"{self.total_calls} kernel calls)"
+        )
+        return "\n".join(rows)
+
+
+def kernel_census(
+    shapes: Iterable[Chain],
+    per_shape_variants: Optional[int] = None,
+) -> KernelCensus:
+    """Count kernel occurrences across all variants of the given shapes."""
+    counts: Counter = Counter()
+    num_shapes = 0
+    num_variants = 0
+    for chain in shapes:
+        num_shapes += 1
+        variants = all_variants(chain)
+        if per_shape_variants is not None:
+            variants = variants[:per_shape_variants]
+        for variant in variants:
+            num_variants += 1
+            for name in variant.kernel_names:
+                counts[name] += 1
+    return KernelCensus(counts=counts, shapes=num_shapes, variants=num_variants)
+
+
+def census_of_option_space(
+    n: int,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> KernelCensus:
+    """Census over the paper's 10-option shape space of length ``n``.
+
+    ``sample=None`` enumerates all ``10^n - 9^n`` shapes (feasible for
+    ``n <= 3``); otherwise a seeded sample is drawn.
+    """
+    if sample is None:
+        shapes: Iterable[Chain] = enumerate_shapes(n)
+    else:
+        rng = np.random.default_rng(seed)
+        shapes = sample_shapes(n, sample, rng, rectangular_probability=None)
+    return kernel_census(shapes)

@@ -1,0 +1,102 @@
+"""Empirical cumulative distribution functions and summary statistics.
+
+Figures 5 and 6 of the paper report eCDFs of the per-instance ratio over
+optimum; the surrounding prose quotes percentiles ("ratio at or below 1.2 on
+96% of instances") and extrema.  This module computes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical CDF over a sample of ratios (values >= 1)."""
+
+    values: np.ndarray  # sorted ascending
+
+    @staticmethod
+    def from_sample(sample: Sequence[float]) -> "ECDF":
+        values = np.sort(np.asarray(sample, dtype=np.float64))
+        if values.size == 0:
+            raise ValueError("cannot build an eCDF from an empty sample")
+        return ECDF(values)
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """``P(value <= x)`` — the y-axis of Figs. 5 and 6 (0..1)."""
+        return float(np.searchsorted(self.values, x, side="right")) / self.values.size
+
+    def quantile(self, p: float) -> float:
+        """Smallest x with ``P(value <= x) >= p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        idx = min(
+            self.values.size - 1, max(0, int(np.ceil(p * self.values.size)) - 1)
+        )
+        return float(self.values[idx])
+
+    @property
+    def max(self) -> float:
+        return float(self.values[-1])
+
+    @property
+    def min(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def curve(self, xs: Sequence[float]) -> list[tuple[float, float]]:
+        """Sampled (x, fraction) pairs for plotting/printing the eCDF."""
+        return [(float(x), self.fraction_at_or_below(float(x))) for x in xs]
+
+
+def summarize_ratios(
+    ratios_by_set: dict[str, np.ndarray],
+    thresholds: Sequence[float] = (1.05, 1.1, 1.2, 1.5, 2.0),
+) -> list[dict[str, float | str]]:
+    """Summary rows (one per variant set) in the style of the paper's prose.
+
+    For each set: the worst and mean ratio and the percentage of instances
+    at or below each threshold.
+    """
+    rows: list[dict[str, float | str]] = []
+    for name, ratios in ratios_by_set.items():
+        ecdf = ECDF.from_sample(ratios)
+        row: dict[str, float | str] = {
+            "set": name,
+            "max": ecdf.max,
+            "mean": ecdf.mean,
+        }
+        for t in thresholds:
+            row[f"<= {t:g}"] = 100.0 * ecdf.fraction_at_or_below(t)
+        rows.append(row)
+    return rows
+
+
+def format_summary_table(rows: list[dict[str, float | str]]) -> str:
+    """Plain-text table of :func:`summarize_ratios` rows."""
+    if not rows:
+        return "(no data)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(_fmt(row[h])) for row in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(str(h).rjust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(_fmt(row[h]).rjust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

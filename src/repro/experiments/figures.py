@@ -1,0 +1,94 @@
+"""Plain-text rendering of the paper's eCDF figures.
+
+Figures 5 and 6 plot empirical CDFs of per-instance ratios over optimum.
+This module renders the same curves as ASCII charts so the CLI (and the
+benchmark harness) can *show* the figures, not just tabulate them.  One
+character column per x-sample, one row per 5% of instances, one letter per
+variant set.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.ecdf import ECDF
+
+#: Plot symbols per set, assigned in insertion order.
+SYMBOLS = "EsxLAbcdef"
+
+
+def render_ecdf_chart(
+    ratios_by_set: Mapping[str, np.ndarray],
+    x_min: float = 1.0,
+    x_max: float = 1.5,
+    width: int = 60,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render eCDF curves as an ASCII chart.
+
+    The y-axis is the percentage of instances with ratio <= x (0..100%);
+    the x-axis spans ``[x_min, x_max]``.  Curves are drawn with one symbol
+    per set; where several sets coincide the later-drawn symbol wins.
+    """
+    if not ratios_by_set:
+        raise ValueError("nothing to plot")
+    xs = np.linspace(x_min, x_max, width)
+    grid = [[" "] * width for _ in range(height)]
+
+    # Prefer each set's first character as its plot symbol; fall back to a
+    # fixed pool when names collide (e.g. Es / Es1,F / Es1,M).
+    used: set[str] = set()
+    symbols: list[str] = []
+    for name in ratios_by_set:
+        preferred = next(
+            (ch for ch in name if ch.isalnum() and ch not in used), None
+        )
+        if preferred is None:
+            preferred = next(ch for ch in SYMBOLS if ch not in used)
+        used.add(preferred)
+        symbols.append(preferred)
+
+    legend = []
+    for index, (name, ratios) in enumerate(ratios_by_set.items()):
+        symbol = symbols[index]
+        legend.append(f"{symbol} = {name}")
+        ecdf = ECDF.from_sample(ratios)
+        for col, x in enumerate(xs):
+            fraction = ecdf.fraction_at_or_below(float(x))
+            row = height - 1 - min(height - 1, int(fraction * height))
+            grid[row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        percent = 100 * (height - row_index) / height
+        prefix = f"{percent:5.0f}% |" if row_index % 4 == 0 else "       |"
+        lines.append(prefix + "".join(row))
+    lines.append("       +" + "-" * width)
+    labels = f"{x_min:<8g}{'ratio over optimal':^{max(0, width - 16)}}{x_max:>8g}"
+    lines.append("        " + labels)
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)
+
+
+def render_fig5(result, n: int, **kwargs) -> str:
+    """ASCII rendering of one Fig. 5 panel from a FlopsExperimentResult."""
+    return render_ecdf_chart(
+        result.ratios[n],
+        title=f"Fig. 5 (n = {n}): eCDF of ratio over optimal FLOPs",
+        **kwargs,
+    )
+
+
+def render_fig6(result, x_max: float = 3.0, **kwargs) -> str:
+    """ASCII rendering of Fig. 6 from a TimeExperimentResult."""
+    return render_ecdf_chart(
+        result.ratios,
+        x_max=x_max,
+        title="Fig. 6: eCDF of ratio over optimal execution time",
+        **kwargs,
+    )

@@ -1,0 +1,142 @@
+"""Experiment A: deviation from FLOP-optimal (paper Section VII-A, Fig. 5).
+
+For each shape, the harness:
+
+1. builds all variants (one per parenthesization);
+2. samples a training set of instances and constructs the Theorem 2 base
+   set ``E_s`` minimizing the average penalty;
+3. expands ``E_s`` by one and two variants with Algorithm 1 (``E_s1``,
+   ``E_s2``);
+4. on a fresh validation set, computes the per-instance ratio of the best
+   variant in each set over the optimum, for the four sets
+   ``E_s``, ``E_s1``, ``E_s2``, and the left-to-right singleton ``L``.
+
+The paper enumerates *all* ``10^n - 9^n`` shapes for n = 5, 6, 7 with 10^5
+training and 10^3 validation instances per shape (~4x10^7 evaluations); the
+harness accepts scale knobs so CI-sized runs finish in minutes while
+``shapes_per_n=None`` reproduces the full enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.compiler.expansion import AveragePenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.compiler.variant import Variant, build_variant
+from repro.compiler.parenthesization import left_to_right_tree
+from repro.experiments.ecdf import ECDF, format_summary_table, summarize_ratios
+from repro.experiments.sampling import (
+    enumerate_shapes,
+    sample_instances,
+    sample_shapes,
+)
+
+SET_NAMES = ("Es", "Es1", "Es2", "L")
+
+
+@dataclass
+class FlopsExperimentResult:
+    """Per-set ratio samples, pooled across shapes, keyed by chain length."""
+
+    ratios: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    shapes_tested: dict[int, int] = field(default_factory=dict)
+
+    def ecdf(self, n: int, set_name: str) -> ECDF:
+        return ECDF.from_sample(self.ratios[n][set_name])
+
+    def pooled(self) -> dict[str, np.ndarray]:
+        """Ratios pooled over all chain lengths, per set."""
+        pooled: dict[str, np.ndarray] = {}
+        for name in SET_NAMES:
+            samples = [r[name] for r in self.ratios.values() if name in r]
+            pooled[name] = np.concatenate(samples)
+        return pooled
+
+    def summary_table(self) -> str:
+        blocks = []
+        for n, ratios in sorted(self.ratios.items()):
+            rows = summarize_ratios(ratios)
+            blocks.append(f"n = {n} ({self.shapes_tested[n]} shapes)")
+            blocks.append(format_summary_table(rows))
+        return "\n".join(blocks)
+
+
+def evaluate_shape(
+    chain: Chain,
+    rng: np.random.Generator,
+    train_instances: int = 2000,
+    val_instances: int = 1000,
+    low: int = 2,
+    high: int = 1000,
+    expansions: Sequence[int] = (1, 2),
+) -> dict[str, np.ndarray]:
+    """Per-instance ratios over optimum of each set, on one shape."""
+    variants = all_variants(chain)
+    train = sample_instances(chain, train_instances, rng, low=low, high=high)
+    train_matrix = CostMatrix(variants, train)
+
+    base = essential_set(chain, cost_matrix=train_matrix, objective="avg")
+    sets: dict[str, list[Variant]] = {"Es": base}
+    for extra in expansions:
+        sets[f"Es{extra}"] = expand_set(
+            train_matrix, base, max_size=len(base) + extra, objective=AveragePenalty
+        )
+    sets["L"] = [build_variant(chain, left_to_right_tree(chain.n), name="L")]
+
+    val = sample_instances(chain, val_instances, rng, low=low, high=high)
+    val_matrix = CostMatrix(variants, val)
+    sig_to_idx = {v.signature(): i for i, v in enumerate(val_matrix.variants)}
+
+    ratios: dict[str, np.ndarray] = {}
+    for name, selected in sets.items():
+        indices = [sig_to_idx[v.signature()] for v in selected]
+        ratios[name] = val_matrix.ratios(indices)
+    return ratios
+
+
+def run_flops_experiment(
+    n_values: Iterable[int] = (5, 6, 7),
+    shapes_per_n: Optional[int] = 50,
+    train_instances: int = 2000,
+    val_instances: int = 200,
+    low: int = 2,
+    high: int = 1000,
+    seed: int = 0,
+    verbose: bool = False,
+) -> FlopsExperimentResult:
+    """Run Experiment A.  ``shapes_per_n=None`` enumerates all shapes.
+
+    Defaults are CI-scale; the paper's configuration is
+    ``shapes_per_n=None, train_instances=100_000, val_instances=1000``.
+    """
+    result = FlopsExperimentResult()
+    for n in n_values:
+        rng = np.random.default_rng(seed + n)
+        if shapes_per_n is None:
+            shapes: list[Chain] = list(enumerate_shapes(n))
+        else:
+            shapes = sample_shapes(n, shapes_per_n, rng, rectangular_probability=None)
+        accumulators: dict[str, list[np.ndarray]] = {k: [] for k in SET_NAMES}
+        for i, chain in enumerate(shapes):
+            ratios = evaluate_shape(
+                chain,
+                rng,
+                train_instances=train_instances,
+                val_instances=val_instances,
+                low=low,
+                high=high,
+            )
+            for name, values in ratios.items():
+                accumulators[name].append(values)
+            if verbose and (i + 1) % 10 == 0:
+                print(f"  n={n}: {i + 1}/{len(shapes)} shapes done")
+        result.ratios[n] = {
+            name: np.concatenate(chunks) for name, chunks in accumulators.items()
+        }
+        result.shapes_tested[n] = len(shapes)
+    return result

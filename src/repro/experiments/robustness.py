@@ -1,0 +1,100 @@
+"""Robustness of the selection under training/validation distribution shift.
+
+The paper trains its base sets and expansions on instances sampled from the
+same distribution as the validation set.  In deployment, run-time sizes can
+drift away from whatever the compile-time tuning assumed.  The theory is
+exactly what protects against this: Theorem 2's guarantee is *distribution
+free* (the penalty bound holds on every instance), while the greedy
+expansion is tuned to the training distribution and may lose some of its
+edge out of distribution.
+
+This harness quantifies both effects: it selects/tunes on a training range
+and validates on shifted ranges, reporting the mean and maximum ratio over
+optimum per set and shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.compiler.expansion import AveragePenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+
+@dataclass(frozen=True)
+class ShiftResult:
+    """Ratios over optimum of each set on one validation range."""
+
+    label: str
+    low: int
+    high: int
+    ratios: dict[str, np.ndarray]
+
+    def summary(self) -> str:
+        parts = []
+        for name, values in self.ratios.items():
+            parts.append(
+                f"{name}: mean {values.mean():.3f} max {values.max():.2f}"
+            )
+        return f"[{self.label}: sizes {self.low}..{self.high}] " + "  ".join(parts)
+
+
+def run_shift_study(
+    n: int = 6,
+    num_shapes: int = 8,
+    train_range: tuple[int, int] = (2, 200),
+    validation_ranges: Sequence[tuple[str, int, int]] = (
+        ("in-distribution", 2, 200),
+        ("moderate shift", 200, 1000),
+        ("extreme shift", 1000, 5000),
+    ),
+    train_instances: int = 1000,
+    val_instances: int = 200,
+    seed: int = 0,
+) -> list[ShiftResult]:
+    """Train on one size range, validate on shifted ranges."""
+    rng = np.random.default_rng(seed)
+    shapes = sample_shapes(n, num_shapes, rng, rectangular_probability=0.5)
+
+    selections = []
+    for chain in shapes:
+        variants = all_variants(chain)
+        train = sample_instances(
+            chain, train_instances, rng, low=train_range[0], high=train_range[1]
+        )
+        matrix = CostMatrix(variants, train)
+        base = essential_set(chain, cost_matrix=matrix)
+        expanded = expand_set(
+            matrix, base, max_size=len(base) + 1, objective=AveragePenalty
+        )
+        selections.append((chain, variants, base, expanded))
+
+    results = []
+    for label, low, high in validation_ranges:
+        accumulators: dict[str, list[np.ndarray]] = {"Es": [], "Es1": []}
+        for chain, variants, base, expanded in selections:
+            val = sample_instances(chain, val_instances, rng, low=low, high=high)
+            matrix = CostMatrix(variants, val)
+            sig_to_idx = {
+                v.signature(): i for i, v in enumerate(matrix.variants)
+            }
+            for name, selected in (("Es", base), ("Es1", expanded)):
+                idx = [sig_to_idx[v.signature()] for v in selected]
+                accumulators[name].append(matrix.ratios(idx))
+        results.append(
+            ShiftResult(
+                label=label,
+                low=low,
+                high=high,
+                ratios={
+                    name: np.concatenate(chunks)
+                    for name, chunks in accumulators.items()
+                },
+            )
+        )
+    return results

@@ -1,0 +1,155 @@
+"""Shape and instance sampling for the experiments (paper Section VII).
+
+The experiments restrict matrix features to **ten options per matrix** (no
+transpositions):
+
+1.  a general, possibly singular matrix — the only option that permits a
+    rectangular matrix;
+2.  an inverted general (hence non-singular) matrix;
+3.  a symmetric positive-definite matrix;
+4.  an inverted symmetric positive-definite matrix;
+5.  a lower-triangular (possibly singular) matrix;
+6.  a non-singular lower-triangular matrix;
+7.  an inverted lower-triangular matrix;
+8-10. the three upper-triangular counterparts of 5-7.
+
+Nine of the ten options imply a square matrix; requiring at least one
+rectangular matrix per chain yields ``10^n - 9^n`` shapes for length ``n``.
+
+Instances are sampled by drawing one size per size-symbol equivalence class
+uniformly from an integer range, so that square matrices always receive
+consistent sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand, UnaryOp
+
+#: The ten feature options of Section VII-A: (structure, property, op).
+MATRIX_OPTIONS: tuple[tuple[Structure, Property, UnaryOp], ...] = (
+    (Structure.GENERAL, Property.SINGULAR, UnaryOp.NONE),
+    (Structure.GENERAL, Property.NON_SINGULAR, UnaryOp.INVERSE),
+    (Structure.SYMMETRIC, Property.SPD, UnaryOp.NONE),
+    (Structure.SYMMETRIC, Property.SPD, UnaryOp.INVERSE),
+    (Structure.LOWER_TRIANGULAR, Property.SINGULAR, UnaryOp.NONE),
+    (Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR, UnaryOp.NONE),
+    (Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR, UnaryOp.INVERSE),
+    (Structure.UPPER_TRIANGULAR, Property.SINGULAR, UnaryOp.NONE),
+    (Structure.UPPER_TRIANGULAR, Property.NON_SINGULAR, UnaryOp.NONE),
+    (Structure.UPPER_TRIANGULAR, Property.NON_SINGULAR, UnaryOp.INVERSE),
+)
+
+#: Index (into MATRIX_OPTIONS) of the only rectangular-capable option.
+RECTANGULAR_OPTION = 0
+
+#: The ten paper options plus three diagonal ones (extension experiments).
+EXTENDED_MATRIX_OPTIONS: tuple[tuple[Structure, Property, UnaryOp], ...] = (
+    *MATRIX_OPTIONS,
+    (Structure.DIAGONAL, Property.SINGULAR, UnaryOp.NONE),
+    (Structure.DIAGONAL, Property.NON_SINGULAR, UnaryOp.NONE),
+    (Structure.DIAGONAL, Property.NON_SINGULAR, UnaryOp.INVERSE),
+)
+
+
+def option_to_operand(
+    option_index: int,
+    name: str,
+    options: Sequence[tuple[Structure, Property, UnaryOp]] = MATRIX_OPTIONS,
+) -> Operand:
+    """Materialize one of the feature options as a chain operand."""
+    structure, prop, op = options[option_index]
+    return Operand(Matrix(name, structure, prop), op)
+
+
+def shape_from_options(
+    options: Sequence[int],
+    option_space: Sequence[tuple[Structure, Property, UnaryOp]] = MATRIX_OPTIONS,
+) -> Chain:
+    """Build a chain shape from a tuple of option indices."""
+    return Chain(
+        tuple(
+            option_to_operand(opt, f"M{i + 1}", option_space)
+            for i, opt in enumerate(options)
+        )
+    )
+
+
+def enumerate_shapes(n: int) -> Iterator[Chain]:
+    """All ``10^n - 9^n`` shapes of length ``n`` with >= 1 rectangular matrix."""
+    for options in itertools.product(range(len(MATRIX_OPTIONS)), repeat=n):
+        if RECTANGULAR_OPTION in options:
+            yield shape_from_options(options)
+
+
+def count_shapes(n: int) -> int:
+    """``10^n - 9^n``: number of admissible shapes of length ``n``."""
+    k = len(MATRIX_OPTIONS)
+    return k**n - (k - 1) ** n
+
+
+def sample_shapes(
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+    rectangular_probability: float = 0.5,
+    option_space: Sequence[tuple[Structure, Property, UnaryOp]] = MATRIX_OPTIONS,
+) -> list[Chain]:
+    """Random shapes as in the execution-time experiment (Section VII-B).
+
+    Each matrix is rectangular-capable (option 1) with probability
+    ``rectangular_probability`` and otherwise draws uniformly among the
+    square options; shapes without any rectangular matrix are rejected and
+    resampled.  With ``rectangular_probability=None`` the options are drawn
+    uniformly among the whole space, matching the FLOP experiment's
+    enumeration distribution instead.  Pass
+    ``option_space=EXTENDED_MATRIX_OPTIONS`` to include diagonal matrices.
+    """
+    shapes: list[Chain] = []
+    square_options = [
+        i for i in range(len(option_space)) if i != RECTANGULAR_OPTION
+    ]
+    while len(shapes) < count:
+        options = []
+        for _ in range(n):
+            if rectangular_probability is None:
+                options.append(int(rng.integers(0, len(option_space))))
+            elif rng.random() < rectangular_probability:
+                options.append(RECTANGULAR_OPTION)
+            else:
+                options.append(
+                    square_options[int(rng.integers(0, len(square_options)))]
+                )
+        if RECTANGULAR_OPTION not in options:
+            continue
+        shapes.append(shape_from_options(options, option_space))
+    return shapes
+
+
+def sample_instances(
+    chain: Chain,
+    count: int,
+    rng: np.random.Generator,
+    low: int = 2,
+    high: int = 1000,
+) -> np.ndarray:
+    """Sample ``count`` valid instances uniformly with sizes in [low, high].
+
+    One size is drawn per size-symbol equivalence class so that square
+    matrices always receive equal adjacent sizes.  Returns an integer array
+    of shape ``(count, n + 1)``.
+    """
+    classes = chain.equivalence_classes()
+    sizes = np.empty((count, chain.n + 1), dtype=np.int64)
+    for cls in classes:
+        draws = rng.integers(low, high + 1, size=count)
+        for idx in cls:
+            sizes[:, idx] = draws
+    return sizes

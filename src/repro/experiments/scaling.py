@@ -1,0 +1,97 @@
+"""Compile-time scaling study: why multi-versioning needs small sets.
+
+The paper's motivation in one table: the number of parenthesizations grows
+as the Catalan numbers (generating code for all of them is prohibitive),
+while the fanning-out set grows linearly and the Theorem 2 essential set is
+bounded by the number of size-symbol equivalence classes.  This harness
+measures, per chain length:
+
+* ``C(n-1)`` — candidate variants;
+* the fanning-out set size (``n - 1`` or ``n + 1``);
+* the average essential-set size over sampled shapes;
+* wall-clock compile time for the essential-set pipeline;
+* emitted C++ size for the essential set vs the full enumeration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.codegen.cpp_emitter import emit_cpp
+from repro.compiler.parenthesization import catalan
+from repro.compiler.selection import (
+    CostMatrix,
+    all_variants,
+    essential_set,
+    fanning_out_variants,
+)
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    n: int
+    parenthesizations: int
+    fanning_out: int
+    avg_essential: float
+    compile_seconds: float
+    essential_cpp_lines: int
+    full_cpp_lines: int
+
+    def format(self) -> str:
+        return (
+            f"n={self.n}: C={self.parenthesizations:5d}  |E|={self.fanning_out:2d}  "
+            f"|E_s|~{self.avg_essential:4.1f}  compile {self.compile_seconds * 1e3:7.1f} ms  "
+            f"C++ lines {self.essential_cpp_lines:5d} (E_s) vs "
+            f"{self.full_cpp_lines:6d} (all)"
+        )
+
+
+def run_scaling_study(
+    n_values: Iterable[int] = (3, 4, 5, 6, 7, 8),
+    shapes_per_n: int = 3,
+    train_instances: int = 300,
+    seed: int = 0,
+) -> list[ScalingRow]:
+    """Measure compile-time and code-size scaling across chain lengths."""
+    rows: list[ScalingRow] = []
+    for n in n_values:
+        rng = np.random.default_rng(seed + n)
+        shapes = sample_shapes(n, shapes_per_n, rng, rectangular_probability=0.5)
+        essential_sizes = []
+        start = time.perf_counter()
+        last_selected = None
+        last_chain = None
+        for chain in shapes:
+            train = sample_instances(chain, train_instances, rng)
+            matrix = CostMatrix(all_variants(chain), train)
+            selected = essential_set(chain, cost_matrix=matrix)
+            essential_sizes.append(len(selected))
+            last_selected, last_chain = selected, chain
+        compile_seconds = (time.perf_counter() - start) / len(shapes)
+
+        assert last_selected is not None and last_chain is not None
+        essential_lines = len(emit_cpp(last_chain, last_selected).splitlines())
+        full_lines = len(
+            emit_cpp(last_chain, all_variants(last_chain)).splitlines()
+        )
+        rows.append(
+            ScalingRow(
+                n=n,
+                parenthesizations=catalan(n - 1),
+                fanning_out=len(fanning_out_variants(shapes[0])),
+                avg_essential=float(np.mean(essential_sizes)),
+                compile_seconds=compile_seconds,
+                essential_cpp_lines=essential_lines,
+                full_cpp_lines=full_lines,
+            )
+        )
+    return rows
+
+
+def format_scaling_table(rows: list[ScalingRow]) -> str:
+    return "\n".join(row.format() for row in rows)

@@ -1,0 +1,13 @@
+"""Feature inference for intermediate results (paper Fig. 4, Section IV)."""
+
+from repro.inference.rules import (
+    infer_product_structure,
+    infer_property,
+    infer_association_features,
+)
+
+__all__ = [
+    "infer_product_structure",
+    "infer_property",
+    "infer_association_features",
+]

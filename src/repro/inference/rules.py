@@ -1,0 +1,94 @@
+"""Structure and property inference lookup tables (paper Fig. 4).
+
+The code generator must reason about the features of intermediate results so
+that specialized kernels can be assigned downstream.  Following the paper,
+inference considers *only* the features of the two operands — algebraic
+relations between operands (e.g. ``Q`` being the Q-factor of the other
+operand) are deliberately ignored, which may yield a conservative (but never
+wrong) feature assignment.
+
+Both tables are indexed by the *effective* features of the operands: the
+structure after accounting for transposition, and the structure/property of
+an inverted operand's inverse (inversion preserves all four structures and
+all our properties: ``L^-1`` is lower-triangular, ``S^-1`` symmetric,
+``P^-1`` SPD, ``Q^-1`` orthogonal).
+"""
+
+from __future__ import annotations
+
+from repro.ir.features import Property, Structure
+
+_G = Structure.GENERAL
+_S = Structure.SYMMETRIC
+_L = Structure.LOWER_TRIANGULAR
+_U = Structure.UPPER_TRIANGULAR
+_D = Structure.DIAGONAL
+
+
+#: Fig. 4 (left): structure of ``X := op(A) op(B)`` from operand structures.
+#: Rows: left operand; columns: right operand.  The diagonal rows/columns
+#: extend the paper's table: diagonal scaling preserves triangularity and
+#: diagonality but breaks symmetry.
+_STRUCTURE_TABLE: dict[tuple[Structure, Structure], Structure] = {
+    (_G, _G): _G, (_G, _S): _G, (_G, _L): _G, (_G, _U): _G,
+    (_S, _G): _G, (_S, _S): _G, (_S, _L): _G, (_S, _U): _G,
+    (_L, _G): _G, (_L, _S): _G, (_L, _L): _L, (_L, _U): _G,
+    (_U, _G): _G, (_U, _S): _G, (_U, _L): _G, (_U, _U): _U,
+    (_D, _G): _G, (_D, _S): _G, (_D, _L): _L, (_D, _U): _U, (_D, _D): _D,
+    (_G, _D): _G, (_S, _D): _G, (_L, _D): _L, (_U, _D): _U,
+}
+
+
+def infer_product_structure(left: Structure, right: Structure) -> Structure:
+    """Structure of a product of two operands with effective structures.
+
+    Only same-triangularity products preserve triangularity; every other
+    combination (including symmetric times symmetric) is general.
+    Diagonal factors preserve the other operand's triangularity.
+    """
+    return _STRUCTURE_TABLE[(left, right)]
+
+
+def infer_property(
+    left_prop: Property,
+    right_prop: Property,
+    result_square: bool,
+) -> Property:
+    """Property of a product/solve result (Fig. 4, right table).
+
+    * Orthogonality is closed under multiplication.
+    * The product of two invertible (necessarily square) matrices is
+      invertible; SPD-ness is *not* preserved by products (the product of
+      two SPD matrices is similar to an SPD matrix but not symmetric), so
+      SPD operands are demoted to plain invertibility.
+    * If either operand carries no invertibility guarantee, or the result is
+      not guaranteed square, the result is (possibly) singular.
+    """
+    if not result_square:
+        return Property.SINGULAR
+    if left_prop is Property.ORTHOGONAL and right_prop is Property.ORTHOGONAL:
+        return Property.ORTHOGONAL
+    if left_prop.is_invertible and right_prop.is_invertible:
+        return Property.NON_SINGULAR
+    return Property.SINGULAR
+
+
+def infer_association_features(
+    left_structure: Structure,
+    left_prop: Property,
+    right_structure: Structure,
+    right_prop: Property,
+    result_square: bool,
+) -> tuple[Structure, Property]:
+    """Features of an association's result (structure, property).
+
+    The same tables cover both products and solves: the effective structure
+    and property of an inverted operand equal those of the operand itself
+    (inversion preserves all features we track), so ``A^-1 B`` is inferred
+    exactly like ``A B``.
+    """
+    structure = infer_product_structure(left_structure, right_structure)
+    prop = infer_property(left_prop, right_prop, result_square)
+    if prop is Property.SPD and structure is not Structure.SYMMETRIC:
+        prop = Property.NON_SINGULAR
+    return structure, prop

@@ -1,0 +1,31 @@
+"""Expression intermediate representation for generalized matrix chains.
+
+This subpackage defines the compile-time objects of the paper's Section III:
+matrix *features* (structure + property), unary operators, operands, symbolic
+chains and their size symbols, concrete instances, the input-language parser
+for the grammar of Fig. 2, and the simplification rewrites of Section III-A.
+"""
+
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand, UnaryOp
+from repro.ir.chain import Chain, Instance
+from repro.ir.expression import ChainSum, ChainTerm
+from repro.ir.parser import parse_program, parse_chain, parse_expression
+from repro.ir.rewrites import simplify_chain
+
+__all__ = [
+    "Structure",
+    "Property",
+    "Matrix",
+    "UnaryOp",
+    "Operand",
+    "Chain",
+    "Instance",
+    "ChainSum",
+    "ChainTerm",
+    "parse_program",
+    "parse_chain",
+    "parse_expression",
+    "simplify_chain",
+]

@@ -1,0 +1,172 @@
+"""Symbolic chains, size symbols, equivalence classes, and instances.
+
+A *symbolic chain* (the paper's *shape*) is a sequence of operands
+``op(M_1) ... op(M_n)`` where matrix ``M_i`` has symbolic size
+``q_{i-1} x q_i``.  Setting the size vector ``q = (q_0, ..., q_n)`` yields an
+*instance*.  Matrices that are necessarily square bind adjacent size symbols
+by equality; the resulting equivalence classes drive the variant selection of
+Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ShapeError
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A generalized matrix chain with symbolic sizes (a *shape*)."""
+
+    operands: tuple[Operand, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operands:
+            raise ShapeError("a chain must contain at least one operand")
+        if not all(isinstance(op, Operand) for op in self.operands):
+            raise ShapeError("chain operands must be Operand objects")
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of matrices in the chain."""
+        return len(self.operands)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[Operand]:
+        return iter(self.operands)
+
+    def __getitem__(self, i: int) -> Operand:
+        return self.operands[i]
+
+    @property
+    def matrices(self) -> tuple[Matrix, ...]:
+        return tuple(op.matrix for op in self.operands)
+
+    def size_symbols(self) -> tuple[str, ...]:
+        """Names of the ``n + 1`` symbolic sizes ``q_0 .. q_n``."""
+        return tuple(f"q{i}" for i in range(self.n + 1))
+
+    def __mul__(self, other):
+        if isinstance(other, Matrix):
+            other = other.as_operand()
+        if isinstance(other, Operand):
+            return Chain((*self.operands, other))
+        if isinstance(other, Chain):
+            return Chain((*self.operands, *other.operands))
+        return NotImplemented
+
+    # -- squareness and equivalence classes ----------------------------------
+
+    def is_square_at(self, i: int) -> bool:
+        """Whether matrix ``M_{i+1}`` (0-based index ``i``) must be square."""
+        return self.operands[i].is_square
+
+    def square_flags(self) -> tuple[bool, ...]:
+        return tuple(op.is_square for op in self.operands)
+
+    def equivalence_classes(self) -> list[tuple[int, ...]]:
+        """Partition of size-symbol indices ``{0..n}`` under ``q_{i-1} ~ q_i``.
+
+        Each square matrix ``M_i`` binds ``q_{i-1}`` and ``q_i`` by equality
+        (Section V).  Returns the classes as sorted tuples of indices, in
+        order of their smallest member.  The number of classes is
+        ``n - n_sq + 1`` where ``n_sq`` is the number of square matrices.
+        """
+        parent = list(range(self.n + 1))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, operand in enumerate(self.operands):
+            if operand.is_square:
+                ra, rb = find(i), find(i + 1)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+
+        classes: dict[int, list[int]] = {}
+        for idx in range(self.n + 1):
+            classes.setdefault(find(idx), []).append(idx)
+        return [tuple(sorted(members)) for _, members in sorted(classes.items())]
+
+    def class_of(self, i: int) -> tuple[int, ...]:
+        """The equivalence class containing size symbol ``q_i``."""
+        for cls in self.equivalence_classes():
+            if i in cls:
+                return cls
+        raise ShapeError(f"size index {i} out of range 0..{self.n}")
+
+    # -- instances -----------------------------------------------------------
+
+    def validate_sizes(self, sizes: Sequence[int]) -> tuple[int, ...]:
+        """Check that ``sizes`` is a valid instance vector for this shape.
+
+        Raises :class:`ShapeError` when the length is wrong, a size is not a
+        positive integer, or a necessarily-square matrix would receive a
+        rectangular size.
+        """
+        q = tuple(int(s) for s in sizes)
+        if len(q) != self.n + 1:
+            raise ShapeError(
+                f"expected {self.n + 1} sizes for a chain of {self.n} matrices, "
+                f"got {len(q)}"
+            )
+        if any(s <= 0 for s in q):
+            raise ShapeError(f"all sizes must be positive, got {q}")
+        for i, operand in enumerate(self.operands):
+            if operand.is_square and q[i] != q[i + 1]:
+                raise ShapeError(
+                    f"matrix {operand.matrix.name!r} must be square but got size "
+                    f"{q[i]}x{q[i + 1]}"
+                )
+        return q
+
+    def instance(self, sizes: Sequence[int]) -> "Instance":
+        """Build a validated concrete :class:`Instance` of this shape."""
+        return Instance(self, self.validate_sizes(sizes))
+
+    # -- presentation ----------------------------------------------------------
+
+    def shape_signature(self) -> str:
+        """Canonical string identifying the shape (features + operators)."""
+        parts = [
+            f"{op.matrix.structure.value}:{op.matrix.prop.value}:{op.op.name}"
+            for op in self.operands
+        ]
+        return "|".join(parts)
+
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A chain with concrete sizes: the unit the dispatcher operates on."""
+
+    chain: Chain
+    sizes: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return self.chain.n
+
+    def matrix_dims(self, i: int) -> tuple[int, int]:
+        """Concrete dimensions of matrix ``M_{i+1}`` *before* its unary op."""
+        return self.sizes[i], self.sizes[i + 1]
+
+    def result_dims(self) -> tuple[int, int]:
+        """Dimensions of the chain's final result."""
+        return self.sizes[0], self.sizes[-1]
+
+    def __str__(self) -> str:
+        return f"{self.chain} @ q={list(self.sizes)}"

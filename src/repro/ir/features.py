@@ -1,0 +1,111 @@
+"""Matrix features: structures and properties (paper Section III-A).
+
+A matrix's features are the combination of a :class:`Structure` (how entries
+are arranged in memory) and a :class:`Property` (whether the matrix is
+invertible and which kernels may solve linear systems with it).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import InvalidFeaturesError
+
+
+class Structure(enum.Enum):
+    """Storage structure of a matrix.
+
+    All structures except :attr:`GENERAL` imply that the matrix is square.
+    ``DIAGONAL`` is an extension beyond the paper's four structures (its
+    grammar lists ``General | Symmetric | LowerTri | ...``): diagonal
+    operands admit O(mn) scaling kernels instead of O(m^2 n) triangular
+    ones, which exercises the compiler's extensibility.
+    """
+
+    GENERAL = "General"
+    SYMMETRIC = "Symmetric"
+    LOWER_TRIANGULAR = "LowerTri"
+    UPPER_TRIANGULAR = "UpperTri"
+    DIAGONAL = "Diagonal"
+
+    @property
+    def implies_square(self) -> bool:
+        """Whether any matrix with this structure must be square."""
+        return self is not Structure.GENERAL
+
+    @property
+    def is_triangular(self) -> bool:
+        return self in (Structure.LOWER_TRIANGULAR, Structure.UPPER_TRIANGULAR)
+
+    @property
+    def transposed(self) -> "Structure":
+        """Structure of the transpose (triangularity flips, Section IV)."""
+        if self is Structure.LOWER_TRIANGULAR:
+            return Structure.UPPER_TRIANGULAR
+        if self is Structure.UPPER_TRIANGULAR:
+            return Structure.LOWER_TRIANGULAR
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Property(enum.Enum):
+    """Invertibility property of a matrix.
+
+    ``SINGULAR`` means *no invertibility guarantee* (the matrix may or may
+    not be invertible; the compiler must not solve systems with it).
+    """
+
+    SINGULAR = "Singular"
+    NON_SINGULAR = "NonSingular"
+    SPD = "SPD"
+    ORTHOGONAL = "Orthogonal"
+
+    @property
+    def is_invertible(self) -> bool:
+        """Whether the property guarantees invertibility."""
+        return self is not Property.SINGULAR
+
+    @property
+    def implies_square(self) -> bool:
+        """Only general singular matrices may be rectangular."""
+        return self is not Property.SINGULAR
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def validate_features(structure: Structure, prop: Property) -> None:
+    """Raise :class:`InvalidFeaturesError` on illegal feature combinations.
+
+    The rules come from Section III-A of the paper:
+
+    * SPD implies the symmetric structure, so it cannot be combined with any
+      other structure.
+    * A triangular orthogonal matrix is the identity; such matrices must be
+      removed by the rewrites before compilation, so constructing one
+      directly is allowed but flagged by :func:`is_identity`.
+    """
+    if prop is Property.SPD and structure is not Structure.SYMMETRIC:
+        raise InvalidFeaturesError(
+            f"the SPD property implies the Symmetric structure, "
+            f"but structure {structure.value!r} was given"
+        )
+
+
+def is_identity(structure: Structure, prop: Property) -> bool:
+    """Whether the features imply the matrix is the identity.
+
+    Any triangular structure combined with the orthogonal property implies
+    the identity matrix (the only triangular orthogonal real matrix with
+    positive diagonal; the paper treats the combination as the identity and
+    removes the matrix from the expression).  A *diagonal* orthogonal
+    matrix is only a signature matrix (diagonal of +/-1), so it is kept.
+    """
+    return structure.is_triangular and prop is Property.ORTHOGONAL
+
+
+def features_imply_square(structure: Structure, prop: Property) -> bool:
+    """Whether a matrix with these features must be square."""
+    return structure.implies_square or prop.implies_square

@@ -1,0 +1,84 @@
+"""Symbolic matrices: a name plus features (structure and property)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidFeaturesError
+from repro.ir.features import Property, Structure, features_imply_square, validate_features
+
+
+@dataclass(frozen=True)
+class Matrix:
+    """A named symbolic matrix with features.
+
+    Sizes are *not* part of the matrix: they are symbolic and attached to the
+    chain (Section III).  Use the ``.T`` / ``.inv`` / ``.invT`` accessors to
+    build operands, and ``*`` to build chains::
+
+        G = Matrix("G", Structure.GENERAL)
+        L = Matrix("L", Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR)
+        chain = G * L.inv * G.T
+    """
+
+    name: str
+    structure: Structure = Structure.GENERAL
+    prop: Property = field(default=Property.SINGULAR)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise InvalidFeaturesError(
+                f"matrix name must start with a letter, got {self.name!r}"
+            )
+        validate_features(self.structure, self.prop)
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the features force this matrix to be square."""
+        return features_imply_square(self.structure, self.prop)
+
+    @property
+    def is_invertible(self) -> bool:
+        return self.prop.is_invertible
+
+    # -- operand construction ------------------------------------------------
+
+    @property
+    def T(self) -> "Operand":
+        """The transposed operand ``M^T``."""
+        from repro.ir.operand import Operand, UnaryOp
+
+        return Operand(self, UnaryOp.TRANSPOSE)
+
+    @property
+    def inv(self) -> "Operand":
+        """The inverted operand ``M^-1``."""
+        from repro.ir.operand import Operand, UnaryOp
+
+        return Operand(self, UnaryOp.INVERSE)
+
+    @property
+    def invT(self) -> "Operand":
+        """The inverse-transposed operand ``M^-T``."""
+        from repro.ir.operand import Operand, UnaryOp
+
+        return Operand(self, UnaryOp.INVERSE_TRANSPOSE)
+
+    def as_operand(self) -> "Operand":
+        """This matrix as an operand with no unary operator."""
+        from repro.ir.operand import Operand, UnaryOp
+
+        return Operand(self, UnaryOp.NONE)
+
+    def __mul__(self, other):
+        return self.as_operand() * other
+
+    def __rmul__(self, other):
+        return other * self.as_operand()
+
+    def describe(self) -> str:
+        """Human-readable feature summary, e.g. ``L<LowerTri, NonSingular>``."""
+        return f"{self.name}<{self.structure.value}, {self.prop.value}>"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,105 @@
+"""Operands: a matrix under an optional unary operator (Section III)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import InvalidFeaturesError
+from repro.ir.features import Structure
+from repro.ir.matrix import Matrix
+
+
+class UnaryOp(enum.Enum):
+    """Unary operators acting on a chain operand: ``op(M)`` in the paper."""
+
+    NONE = ""
+    TRANSPOSE = "^T"
+    INVERSE = "^-1"
+    INVERSE_TRANSPOSE = "^-T"
+
+    @property
+    def inverted(self) -> bool:
+        return self in (UnaryOp.INVERSE, UnaryOp.INVERSE_TRANSPOSE)
+
+    @property
+    def transposed(self) -> bool:
+        return self in (UnaryOp.TRANSPOSE, UnaryOp.INVERSE_TRANSPOSE)
+
+    @staticmethod
+    def from_flags(inverted: bool, transposed: bool) -> "UnaryOp":
+        """Build the operator from its two component flags."""
+        if inverted and transposed:
+            return UnaryOp.INVERSE_TRANSPOSE
+        if inverted:
+            return UnaryOp.INVERSE
+        if transposed:
+            return UnaryOp.TRANSPOSE
+        return UnaryOp.NONE
+
+
+@dataclass(frozen=True)
+class Operand:
+    """``op(M)``: a matrix with an optional transpose and/or inverse."""
+
+    matrix: Matrix
+    op: UnaryOp = UnaryOp.NONE
+
+    def __post_init__(self) -> None:
+        if self.op.inverted and not self.matrix.is_invertible:
+            raise InvalidFeaturesError(
+                f"cannot invert matrix {self.matrix.name!r}: "
+                f"property {self.matrix.prop.value!r} does not guarantee invertibility"
+            )
+
+    @property
+    def inverted(self) -> bool:
+        return self.op.inverted
+
+    @property
+    def transposed(self) -> bool:
+        return self.op.transposed
+
+    @property
+    def structure(self) -> Structure:
+        """Effective structure, accounting for transposition.
+
+        The structure of a transposed triangular operand is the opposite
+        triangular structure (Section IV, step 4).  Inversion preserves
+        triangularity and symmetry.
+        """
+        structure = self.matrix.structure
+        if self.transposed:
+            structure = structure.transposed
+        return structure
+
+    @property
+    def is_square(self) -> bool:
+        """Whether this operand is necessarily square.
+
+        Inversion forces squareness even when the features alone do not.
+        """
+        return self.matrix.is_square or self.inverted
+
+    def __mul__(self, other):
+        from repro.ir.chain import Chain
+
+        if isinstance(other, Matrix):
+            other = other.as_operand()
+        if isinstance(other, Operand):
+            return Chain((self, other))
+        if isinstance(other, Chain):
+            return Chain((self, *other.operands))
+        return NotImplemented
+
+    def __rmul__(self, other):
+        from repro.ir.chain import Chain
+
+        if isinstance(other, Matrix):
+            return other.as_operand() * self
+        if isinstance(other, Chain):
+            return Chain((*other.operands, self))
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return f"{self.matrix.name}{self.op.value}"

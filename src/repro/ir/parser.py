@@ -1,0 +1,323 @@
+"""Parser for the code generator's input language (paper Fig. 2).
+
+The grammar::
+
+    program     -> definitions expression
+    definitions -> definition+
+    definition  -> "Matrix" ident "<" structure "," property ">" ";"
+    structure   -> "General" | "Symmetric" | "LowerTri" | "UpperTri" | ...
+    property    -> "Singular" | "NonSingular" | "SPD" | "Orthogonal"
+    expression  -> ident ":=" term (("+" | "-") term)* ";"
+    term        -> [number "*"] operand ("*" operand)*
+    operand     -> ident | ident "^T" | ident "^-1" | ident "^-T"
+    ident       -> letter (letter | digit | "_")*
+
+The paper's Fig. 2 covers single-chain expressions; the sum-of-terms form
+(with optional scalar literals) is this reproduction's future-work
+extension, see :mod:`repro.ir.expression`.
+
+A few ergonomic extensions are accepted: ``Invertible`` as an alias for
+``NonSingular``, ``LowerTriangular``/``UpperTriangular`` as long-form
+structures, ``Diagonal``, and the functional spellings ``inv(A)``,
+``trans(A)``, and ``invtrans(A)`` for the unary operators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.ir.chain import Chain
+from repro.ir.expression import ChainSum, ChainTerm
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand, UnaryOp
+
+_STRUCTURES = {
+    "general": Structure.GENERAL,
+    "symmetric": Structure.SYMMETRIC,
+    "lowertri": Structure.LOWER_TRIANGULAR,
+    "lowertriangular": Structure.LOWER_TRIANGULAR,
+    "uppertri": Structure.UPPER_TRIANGULAR,
+    "uppertriangular": Structure.UPPER_TRIANGULAR,
+    "diagonal": Structure.DIAGONAL,
+}
+
+_PROPERTIES = {
+    "singular": Property.SINGULAR,
+    "nonsingular": Property.NON_SINGULAR,
+    "invertible": Property.NON_SINGULAR,
+    "spd": Property.SPD,
+    "orthogonal": Property.ORTHOGONAL,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<ASSIGN>:=)
+  | (?P<INVT>\^-T)
+  | (?P<INV>\^-1)
+  | (?P<TRANS>\^T)
+  | (?P<IDENT>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<NUMBER>\d+(\.\d+)?)
+  | (?P<PUNCT>[<>,;*()+\-])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, pos - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed program: matrix definitions plus one expression.
+
+    For the paper's single-chain programs, :attr:`chain` gives the chain
+    directly; sum-of-terms programs must be accessed through
+    :attr:`expression`.
+    """
+
+    matrices: dict[str, Matrix]
+    result_name: str
+    expression: ChainSum
+
+    @property
+    def chain(self) -> Chain:
+        """The expression's unique chain; raises for sums of terms."""
+        if len(self.expression) != 1:
+            raise ParseError(
+                "program is a sum of chains; use Program.expression "
+                "(or compile_expression) instead of Program.chain"
+            )
+        term = self.expression.terms[0]
+        if term.coefficient != 1.0:
+            raise ParseError(
+                "program scales its chain by a scalar; use "
+                "Program.expression instead of Program.chain"
+            )
+        return term.chain
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self, expected: str | None = None) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input"
+                + (f" (expected {expected})" if expected else "")
+            )
+        self._pos += 1
+        return token
+
+    def _expect_text(self, text: str) -> Token:
+        token = self._next(expected=repr(text))
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def _expect_ident(self, description: str = "identifier") -> Token:
+        token = self._next(expected=description)
+        if token.kind != "IDENT":
+            raise ParseError(
+                f"expected {description}, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    # -- grammar productions -------------------------------------------------
+
+    def parse_program(self) -> Program:
+        matrices: dict[str, Matrix] = {}
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("expected an expression after the matrix definitions")
+            if token.kind == "IDENT" and token.text == "Matrix":
+                name, matrix = self._parse_definition()
+                if name in matrices:
+                    raise ParseError(
+                        f"matrix {name!r} defined twice",
+                        line=token.line,
+                        column=token.column,
+                    )
+                matrices[name] = matrix
+            else:
+                break
+        if not matrices:
+            token = self._peek()
+            raise ParseError(
+                "a program must start with at least one 'Matrix' definition",
+                line=token.line if token else None,
+            )
+        result_name, expression = self._parse_expression(matrices)
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}",
+                line=trailing.line,
+                column=trailing.column,
+            )
+        return Program(
+            matrices=matrices, result_name=result_name, expression=expression
+        )
+
+    def _parse_definition(self) -> tuple[str, Matrix]:
+        self._expect_text("Matrix")
+        name_token = self._expect_ident("matrix name")
+        self._expect_text("<")
+        structure_token = self._expect_ident("structure")
+        structure = _STRUCTURES.get(structure_token.text.lower())
+        if structure is None:
+            raise ParseError(
+                f"unknown structure {structure_token.text!r} "
+                f"(expected one of {sorted(set(s.value for s in Structure))})",
+                line=structure_token.line,
+                column=structure_token.column,
+            )
+        self._expect_text(",")
+        prop_token = self._expect_ident("property")
+        prop = _PROPERTIES.get(prop_token.text.lower())
+        if prop is None:
+            raise ParseError(
+                f"unknown property {prop_token.text!r} "
+                f"(expected one of {sorted(set(p.value for p in Property))})",
+                line=prop_token.line,
+                column=prop_token.column,
+            )
+        self._expect_text(">")
+        self._expect_text(";")
+        return name_token.text, Matrix(name_token.text, structure, prop)
+
+    def _parse_expression(
+        self, matrices: dict[str, Matrix]
+    ) -> tuple[str, ChainSum]:
+        result_token = self._expect_ident("result name")
+        self._expect_text(":=")
+        terms = [self._parse_term(matrices, sign=1.0)]
+        while True:
+            token = self._peek()
+            if token is not None and token.text in ("+", "-"):
+                self._next()
+                sign = 1.0 if token.text == "+" else -1.0
+                terms.append(self._parse_term(matrices, sign=sign))
+            else:
+                break
+        self._expect_text(";")
+        return result_token.text, ChainSum(tuple(terms))
+
+    def _parse_term(self, matrices: dict[str, Matrix], sign: float) -> ChainTerm:
+        coefficient = sign
+        token = self._peek()
+        if token is not None and token.kind == "NUMBER":
+            self._next()
+            coefficient *= float(token.text)
+            self._expect_text("*")
+        operands = [self._parse_operand(matrices)]
+        while True:
+            token = self._peek()
+            if token is not None and token.text == "*":
+                self._next()
+                operands.append(self._parse_operand(matrices))
+            else:
+                break
+        return ChainTerm(coefficient=coefficient, chain=Chain(tuple(operands)))
+
+    def _parse_operand(self, matrices: dict[str, Matrix]) -> Operand:
+        token = self._expect_ident("operand")
+        lowered = token.text.lower()
+        if lowered in ("inv", "trans", "invtrans") and self._peek_text() == "(":
+            self._expect_text("(")
+            inner = self._parse_operand(matrices)
+            self._expect_text(")")
+            op = {
+                "inv": UnaryOp.INVERSE,
+                "trans": UnaryOp.TRANSPOSE,
+                "invtrans": UnaryOp.INVERSE_TRANSPOSE,
+            }[lowered]
+            combined = UnaryOp.from_flags(
+                inner.op.inverted != op.inverted,
+                inner.op.transposed != op.transposed,
+            )
+            return Operand(inner.matrix, combined)
+        matrix = matrices.get(token.text)
+        if matrix is None:
+            raise ParseError(
+                f"matrix {token.text!r} used in the expression but never defined",
+                line=token.line,
+                column=token.column,
+            )
+        op = UnaryOp.NONE
+        suffix = self._peek()
+        if suffix is not None and suffix.kind in ("TRANS", "INV", "INVT"):
+            self._next()
+            op = {
+                "TRANS": UnaryOp.TRANSPOSE,
+                "INV": UnaryOp.INVERSE,
+                "INVT": UnaryOp.INVERSE_TRANSPOSE,
+            }[suffix.kind]
+        return Operand(matrix, op)
+
+    def _peek_text(self) -> str | None:
+        token = self._peek()
+        return token.text if token is not None else None
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program (definitions + one expression)."""
+    return _Parser(_tokenize(source)).parse_program()
+
+
+def parse_chain(source: str) -> Chain:
+    """Parse a single-chain program and return its chain."""
+    return parse_program(source).chain
+
+
+def parse_expression(source: str) -> ChainSum:
+    """Parse a program and return its (possibly multi-term) expression."""
+    return parse_program(source).expression

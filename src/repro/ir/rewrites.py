@@ -1,0 +1,57 @@
+"""Feature-driven simplification rewrites (paper Section III-A).
+
+Before compilation, the chain is normalized:
+
+* Transposition is removed when applied to a matrix with the symmetric
+  structure (``S^T = S``, ``S^-T = S^-1``).
+* Inversion is replaced by transposition when applied to an orthogonal
+  matrix (``Q^-1 = Q^T``, ``Q^-T = Q``).
+* A matrix whose features imply the identity (triangular structure combined
+  with the orthogonal property) is removed from the chain entirely.
+
+These rules are confluent and applied in a single pass: the per-operand
+operator rewrites never create or destroy identity matrices, and identity
+removal does not change any other operand.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.ir.chain import Chain
+from repro.ir.features import Structure, is_identity
+from repro.ir.operand import Operand, UnaryOp
+
+
+def simplify_operand(operand: Operand) -> Operand:
+    """Apply the per-operand operator rewrites of Section III-A."""
+    matrix = operand.matrix
+    inverted, transposed = operand.op.inverted, operand.op.transposed
+    # Q^-1 = Q^T and Q^-T = Q for orthogonal Q: trade the inversion for a
+    # transposition (XOR with the existing transposition flag).
+    if inverted and matrix.prop.name == "ORTHOGONAL":
+        inverted = False
+        transposed = not transposed
+    # S^T = S and D^T = D: transposition is a no-op on symmetric and
+    # diagonal structures.
+    if transposed and matrix.structure in (Structure.SYMMETRIC, Structure.DIAGONAL):
+        transposed = False
+    return Operand(matrix, UnaryOp.from_flags(inverted, transposed))
+
+
+def simplify_chain(chain: Chain) -> Chain:
+    """Normalize a chain; raises :class:`ShapeError` if it becomes empty.
+
+    A chain in which every matrix is an identity simplifies to the identity
+    matrix, which is not a valid compilation target (there is nothing to
+    compute); the caller should special-case it.
+    """
+    kept = []
+    for operand in chain:
+        if is_identity(operand.matrix.structure, operand.matrix.prop):
+            continue
+        kept.append(simplify_operand(operand))
+    if not kept:
+        raise ShapeError(
+            "chain simplifies to the identity matrix; nothing to compile"
+        )
+    return Chain(tuple(kept))

@@ -1,0 +1,44 @@
+"""The kernel substrate: Table I of the paper.
+
+This subpackage defines the full set of BLAS-, LAPACK-, and paper-custom
+kernels that the code generator targets, together with:
+
+* exact FLOP cost functions (``repro.kernels.cost``),
+* kernel descriptors with operand-support metadata (``repro.kernels.spec``),
+* the association-to-kernel lookup tables of Fig. 3
+  (``repro.kernels.tables``), and
+* executable NumPy/SciPy reference implementations
+  (``repro.kernels.reference``).
+"""
+
+from repro.kernels.cost import CostFunction, CostType, Monomial
+from repro.kernels.spec import (
+    KernelSpec,
+    KERNELS,
+    PRODUCT_KERNELS,
+    SOLVE_KERNELS,
+    DIAGONAL_KERNELS,
+    UNARY_KERNELS,
+    get_kernel,
+)
+from repro.kernels.tables import (
+    lookup_product_kernel,
+    lookup_solve_kernel,
+    lookup_inversion_kernel,
+)
+
+__all__ = [
+    "CostFunction",
+    "CostType",
+    "Monomial",
+    "KernelSpec",
+    "KERNELS",
+    "PRODUCT_KERNELS",
+    "SOLVE_KERNELS",
+    "DIAGONAL_KERNELS",
+    "UNARY_KERNELS",
+    "get_kernel",
+    "lookup_product_kernel",
+    "lookup_solve_kernel",
+    "lookup_inversion_kernel",
+]

@@ -1,0 +1,154 @@
+"""Kernel FLOP cost functions (paper Section III-C, Section V, Table I).
+
+A kernel invocation associates an ``m x k`` operand with a ``k x n`` operand.
+Its FLOP cost is a sum of monomials in ``(m, k, n)``; every cost function in
+Table I fits this form exactly (lower-order terms are dropped, as in the
+paper).  The theory of Section V classifies each cost function as:
+
+* **Type I**: ``phi(a, b, c) = beta * a * b * c`` (a single trilinear
+  monomial; on square operands this includes all the ``beta * m^3`` costs),
+* **Type IIa**: ``phi(a, b, c) = beta1 * a^3 + beta2 * a^2 * c``, or
+* **Type IIb**: ``phi(a, b, c) = beta1 * c^3 + beta2 * c^2 * a``.
+
+Only kernels that solve a linear system with a *non-triangular* coefficient
+and a *general rectangular* right-hand side are Type II; everything else is
+Type I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+
+class CostType(enum.Enum):
+    """Cost-function classification used by the theory of Section V."""
+
+    TYPE_I = "I"
+    TYPE_IIA = "IIa"
+    TYPE_IIB = "IIb"
+    UNARY = "unary"  # explicit inversion/transposition fix-ups (not in Table I)
+    EXTENSION = "ext"  # sub-cubic extension kernels (diagonal scaling/solve)
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """``coeff * m^em * k^ek * n^en`` where (m, k, n) are the call dims."""
+
+    coeff: Fraction
+    em: int
+    ek: int
+    en: int
+
+    def evaluate(self, m: int, k: int, n: int) -> float:
+        return float(self.coeff) * m**self.em * k**self.ek * n**self.en
+
+    def to_sympy(self, m, k, n):
+        """Build the sympy expression of this monomial over given symbols."""
+        import sympy
+
+        return sympy.Rational(self.coeff.numerator, self.coeff.denominator) * (
+            m**self.em * k**self.ek * n**self.en
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for base, exp in (("m", self.em), ("k", self.ek), ("n", self.en)):
+            if exp == 1:
+                parts.append(base)
+            elif exp > 1:
+                parts.append(f"{base}^{exp}")
+        body = "*".join(parts) if parts else "1"
+        return f"{self.coeff}*{body}"
+
+
+def _mono(coeff, em: int, ek: int, en: int) -> Monomial:
+    return Monomial(Fraction(coeff), em, ek, en)
+
+
+@dataclass(frozen=True)
+class CostFunction:
+    """A FLOP cost: a sum of monomials plus its Section-V classification."""
+
+    terms: tuple[Monomial, ...]
+    cost_type: CostType
+
+    def evaluate(self, m: int, k: int, n: int) -> float:
+        """Numeric FLOP count of a call on an ``m x k`` by ``k x n`` pair."""
+        return sum(t.evaluate(m, k, n) for t in self.terms)
+
+    def to_sympy(self, m, k, n):
+        """Symbolic FLOP count over sympy symbols ``m``, ``k``, ``n``."""
+        import sympy
+
+        return sympy.Add(*[t.to_sympy(m, k, n) for t in self.terms])
+
+    @property
+    def degree(self) -> int:
+        return max((t.em + t.ek + t.en) for t in self.terms)
+
+    def __str__(self) -> str:
+        return " + ".join(str(t) for t in self.terms)
+
+
+def trilinear(coeff) -> CostFunction:
+    """``coeff * m * k * n`` — Type I (e.g. GEMM's ``2mkn``)."""
+    return CostFunction((_mono(coeff, 1, 1, 1),), CostType.TYPE_I)
+
+
+def cubed_left(coeff) -> CostFunction:
+    """``coeff * m^3`` — Type I on necessarily-square calls."""
+    return CostFunction((_mono(coeff, 3, 0, 0),), CostType.TYPE_I)
+
+
+def square_left_times_n(coeff) -> CostFunction:
+    """``coeff * m^2 * n`` — Type I (structured operand on the left)."""
+    return CostFunction((_mono(coeff, 2, 0, 1),), CostType.TYPE_I)
+
+
+def square_right_times_m(coeff) -> CostFunction:
+    """``coeff * m * n^2`` — Type I (structured operand on the right)."""
+    return CostFunction((_mono(coeff, 1, 0, 2),), CostType.TYPE_I)
+
+
+def solve_left(c3, c2) -> CostFunction:
+    """``c3 * m^3 + c2 * m^2 * n`` — Type IIa (coefficient on the left)."""
+    return CostFunction(
+        (_mono(c3, 3, 0, 0), _mono(c2, 2, 0, 1)),
+        CostType.TYPE_IIA,
+    )
+
+
+def solve_right(c3, c2) -> CostFunction:
+    """``c3 * n^3 + c2 * n^2 * m`` — Type IIb (coefficient on the right)."""
+    return CostFunction(
+        (_mono(c3, 0, 0, 3), _mono(c2, 1, 0, 2)),
+        CostType.TYPE_IIB,
+    )
+
+
+def unary_cubed(coeff) -> CostFunction:
+    """``coeff * m^3`` for explicit inversion fix-up kernels."""
+    return CostFunction((_mono(coeff, 3, 0, 0),), CostType.UNARY)
+
+
+def scaling(coeff) -> CostFunction:
+    """``coeff * m * n`` — diagonal scaling/solve extension kernels."""
+    return CostFunction((_mono(coeff, 1, 0, 1),), CostType.EXTENSION)
+
+
+def linear(coeff) -> CostFunction:
+    """``coeff * m`` — diagonal-times-diagonal extension kernels."""
+    return CostFunction((_mono(coeff, 1, 0, 0),), CostType.EXTENSION)
+
+
+ZERO_COST = CostFunction((), CostType.UNARY)
+
+
+def evaluate_terms(
+    terms: Sequence[Monomial], m: int, k: int, n: int
+) -> float:
+    """Evaluate a bare monomial sequence (hot path helper)."""
+    return sum(t.evaluate(m, k, n) for t in terms)

@@ -1,0 +1,133 @@
+"""Association-to-kernel lookup tables (paper Fig. 3).
+
+Two tables map an association to its best-fitting (most specialized) kernel:
+the *product* table, used when neither operand is inverted, and the *solve*
+table, used when exactly one operand is inverted (two inverted operands are
+impossible at kernel-assignment time thanks to the inversion-propagation
+rewrites of Section IV, step 1).
+
+The tables are indexed by *effective structures*: the structure of the
+operand after accounting for transposition (a transposed lower-triangular
+operand is upper-triangular).  For the solve table, the row is selected by
+the coefficient matrix's structure *and* property, because symmetric
+positive-definite coefficients get the cheaper ``PO*`` kernels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.ir.features import Property, Structure
+from repro.kernels import spec
+from repro.kernels.spec import KernelSpec
+
+
+def _structure_class(structure: Structure) -> str:
+    """Collapse the two triangular structures into one table index."""
+    if structure is Structure.GENERAL:
+        return "G"
+    if structure is Structure.SYMMETRIC:
+        return "S"
+    if structure is Structure.DIAGONAL:
+        return "D"
+    return "L"  # lower or upper triangular
+
+
+#: Product table of Fig. 3 (left): (left class, right class) -> kernel.
+_PRODUCT_TABLE: dict[tuple[str, str], KernelSpec] = {
+    ("G", "G"): spec.GEMM,
+    ("S", "G"): spec.SYMM,
+    ("G", "S"): spec.SYMM,
+    ("L", "G"): spec.TRMM,
+    ("G", "L"): spec.TRMM,
+    ("S", "S"): spec.SYSYMM,
+    ("L", "S"): spec.TRSYMM,
+    ("S", "L"): spec.TRSYMM,
+    ("L", "L"): spec.TRTRMM,
+    # Diagonal extension: a diagonal operand turns any product into a
+    # scaling, and two diagonals combine element-wise.
+    ("D", "G"): spec.DIMM,
+    ("G", "D"): spec.DIMM,
+    ("D", "S"): spec.DIMM,
+    ("S", "D"): spec.DIMM,
+    ("D", "L"): spec.DIMM,
+    ("L", "D"): spec.DIMM,
+    ("D", "D"): spec.DIDIMM,
+}
+
+#: Solve table of Fig. 3 (right): (coefficient row, rhs class) -> kernel.
+#: Rows: "G" general, "S" symmetric indefinite, "P" SPD, "L" triangular.
+_SOLVE_TABLE: dict[tuple[str, str], KernelSpec] = {
+    ("G", "G"): spec.GEGESV,
+    ("G", "S"): spec.GESYSV,
+    ("G", "L"): spec.GETRSV,
+    ("S", "G"): spec.SYGESV,
+    ("S", "S"): spec.SYSYSV,
+    ("S", "L"): spec.SYTRSV,
+    ("P", "G"): spec.POGESV,
+    ("P", "S"): spec.POSYSV,
+    ("P", "L"): spec.POTRSV,
+    ("L", "G"): spec.TRSM,
+    ("L", "S"): spec.TRSYSV,
+    ("L", "L"): spec.TRTRSV,
+    # Diagonal extension: diagonal coefficients divide element-wise; a
+    # diagonal right-hand side is consumed by the triangular-RHS kernels
+    # of the coefficient's row (a diagonal matrix is triangular), except
+    # that a diagonal coefficient gets the dedicated DIDISV.
+    ("D", "G"): spec.DIGESV,
+    ("D", "S"): spec.DISYSV,
+    ("D", "L"): spec.DITRSV,
+    ("D", "D"): spec.DIDISV,
+    ("G", "D"): spec.GETRSV,
+    ("S", "D"): spec.SYTRSV,
+    ("P", "D"): spec.POTRSV,
+    ("L", "D"): spec.TRTRSV,
+}
+
+
+def lookup_product_kernel(left: Structure, right: Structure) -> KernelSpec:
+    """Kernel for a product association with the given effective structures."""
+    return _PRODUCT_TABLE[(_structure_class(left), _structure_class(right))]
+
+
+def _coefficient_row(structure: Structure, prop: Property) -> str:
+    if not prop.is_invertible:
+        raise CompilationError(
+            f"cannot solve with a coefficient whose property is {prop.value!r}"
+        )
+    if structure is Structure.DIAGONAL:
+        return "D"
+    if structure.is_triangular:
+        return "L"
+    if structure is Structure.SYMMETRIC:
+        return "P" if prop is Property.SPD else "S"
+    return "G"
+
+
+def lookup_solve_kernel(
+    coeff_structure: Structure,
+    coeff_prop: Property,
+    rhs_structure: Structure,
+) -> KernelSpec:
+    """Kernel for a solve association.
+
+    ``coeff_structure``/``coeff_prop`` describe the inverted operand (the
+    coefficient matrix of the linear system); ``rhs_structure`` is the
+    effective structure of the other operand.
+    """
+    row = _coefficient_row(coeff_structure, coeff_prop)
+    return _SOLVE_TABLE[(row, _structure_class(rhs_structure))]
+
+
+def lookup_inversion_kernel(structure: Structure, prop: Property) -> KernelSpec:
+    """Explicit-inversion fix-up kernel for a matrix with given features."""
+    if not prop.is_invertible:
+        raise CompilationError(
+            f"cannot explicitly invert a matrix with property {prop.value!r}"
+        )
+    if structure is Structure.DIAGONAL:
+        return spec.DIINV
+    if structure.is_triangular:
+        return spec.TRINV
+    if structure is Structure.SYMMETRIC:
+        return spec.POINV if prop is Property.SPD else spec.SYINV
+    return spec.GEINV

@@ -1,0 +1,16 @@
+"""Performance modelling (paper Section VII-B).
+
+* :mod:`repro.perfmodel.machine` — a deterministic simulated machine that
+  assigns an execution time to every kernel call (the reproduction's
+  substitute for the paper's Xeon Gold 6132 + OpenBLAS testbed).
+* :mod:`repro.perfmodel.models` — per-kernel performance models built by
+  sampling FLOP/s on a 6-point-per-axis Cartesian grid over [50, 1000] and
+  interpolating, exactly mirroring the paper's methodology.
+* :mod:`repro.perfmodel.timing` — optional wall-clock measurement of the
+  NumPy reference kernels for users on real hardware.
+"""
+
+from repro.perfmodel.machine import SimulatedMachine
+from repro.perfmodel.models import PerformanceModelSet
+
+__all__ = ["SimulatedMachine", "PerformanceModelSet"]

@@ -1,0 +1,155 @@
+"""Grid-interpolation performance models (paper Section VII-B).
+
+The paper constructs per-kernel performance models "by timing each kernel on
+a 3D/2D/1D Cartesian grid with six points per axis over the range [50, 1000]
+(50, 100, 300, 500, 700, 1000).  For each point, we recorded the performance
+(FLOP/s). ... the corresponding model estimates the performance by
+interpolating the grid samples.  The FLOP count is then divided by the
+estimated performance to obtain the execution time."
+
+We do exactly that against the simulated machine: the grid dimensionality
+per kernel follows the kernel's free dimensions (GEMM is 3-D in (m, k, n);
+kernels with one square operand are 2-D in (m, n); all-square kernels are
+1-D in m), samples record FLOP/s, and estimates interpolate linearly with
+clamping at the grid boundary.  The model is deliberately *crude* — exactly
+like the paper's — so model-based estimates deviate from the machine's true
+times between grid points and outside sampled configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+from repro.perfmodel.machine import SimulatedMachine
+
+GRID_POINTS = (50.0, 100.0, 300.0, 500.0, 700.0, 1000.0)
+
+#: Free dimensions sampled per kernel: "mkn" (3-D), "mn" (2-D), "m" (1-D).
+KERNEL_MODEL_DIMS: dict[str, str] = {
+    "GEMM": "mkn",
+    "SYMM": "mn",
+    "TRMM": "mn",
+    "TRSM": "mn",
+    "GEGESV": "mn",
+    "SYGESV": "mn",
+    "POGESV": "mn",
+    "SYSYMM": "m",
+    "TRSYMM": "m",
+    "TRTRMM": "m",
+    "GESYSV": "m",
+    "GETRSV": "m",
+    "SYSYSV": "m",
+    "SYTRSV": "m",
+    "POSYSV": "m",
+    "POTRSV": "m",
+    "TRSYSV": "m",
+    "TRTRSV": "m",
+    "GEINV": "m",
+    "SYINV": "m",
+    "POINV": "m",
+    "TRINV": "m",
+    "DIMM": "mn",
+    "DIGESV": "mn",
+    "DIDIMM": "m",
+    "DISYSV": "m",
+    "DITRSV": "m",
+    "DIDISV": "m",
+    "DIINV": "m",
+}
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Interpolated FLOP/s surface for one kernel."""
+
+    kernel: str
+    dims: str
+    interpolator: RegularGridInterpolator
+    #: Sampled range; queries outside it are clamped to the boundary.
+    lo: float = GRID_POINTS[0]
+    hi: float = GRID_POINTS[-1]
+
+    def performance(self, m, k, n):
+        """Estimated FLOP/s for a call with the given dimensions."""
+        m = np.atleast_1d(np.asarray(m, dtype=np.float64))
+        k = np.atleast_1d(np.asarray(k, dtype=np.float64))
+        n = np.atleast_1d(np.asarray(n, dtype=np.float64))
+        if self.dims == "mkn":
+            points = np.stack([m, k, n], axis=-1)
+        elif self.dims == "mn":
+            points = np.stack([m, n], axis=-1)
+        else:
+            points = m[:, None]
+        return self.interpolator(np.clip(points, self.lo, self.hi))
+
+
+class PerformanceModelSet:
+    """All kernel models sampled from one machine (or real measurements)."""
+
+    def __init__(self, machine: SimulatedMachine, grid: Sequence[float] = GRID_POINTS):
+        self.machine = machine
+        self.grid = tuple(float(g) for g in grid)
+        self.models: dict[str, KernelModel] = {}
+        axis = np.asarray(self.grid)
+        for kernel, dims in KERNEL_MODEL_DIMS.items():
+            if dims == "mkn":
+                mg, kg, ng = np.meshgrid(axis, axis, axis, indexing="ij")
+                perf = machine.performance(kernel, mg, kg, ng)
+                interp = RegularGridInterpolator((axis, axis, axis), perf)
+            elif dims == "mn":
+                # The sampled configuration fixes k = m (coefficient /
+                # structured operand on the left), as a crude model would.
+                mg, ng = np.meshgrid(axis, axis, indexing="ij")
+                perf = machine.performance(kernel, mg, mg, ng)
+                interp = RegularGridInterpolator((axis, axis), perf)
+            else:
+                perf = machine.performance(kernel, axis, axis, axis)
+                interp = RegularGridInterpolator((axis,), perf)
+            self.models[kernel] = KernelModel(
+                kernel, dims, interp, lo=self.grid[0], hi=self.grid[-1]
+            )
+
+    def step_time_many(self, step, instances: np.ndarray) -> np.ndarray:
+        """Model-estimated execution time of one variant step."""
+        instances = np.asarray(instances, dtype=np.float64)
+        m = instances[:, step.call_dims[0]]
+        k = instances[:, step.call_dims[1]]
+        n = instances[:, step.call_dims[2]]
+        flops = np.zeros(instances.shape[0])
+        for term in step.cost.terms:
+            flops += float(term.coeff) * m**term.em * k**term.ek * n**term.en
+        name = step.kernel.name
+        if name in ("TRANSPOSE", "COPY"):
+            return self.machine.time_call(name, flops, m, k, n)
+        perf = self.models[name].performance(m, k, n)
+        return flops / perf
+
+    def fixup_time_many(self, fixup, instances: np.ndarray) -> np.ndarray:
+        instances = np.asarray(instances, dtype=np.float64)
+        d = instances[:, fixup.dim]
+        flops = np.zeros(instances.shape[0])
+        for term in fixup.cost.terms:
+            flops += float(term.coeff) * d ** (term.em + term.ek + term.en)
+        name = fixup.kernel.name
+        if name in ("TRANSPOSE", "COPY"):
+            return self.machine.time_call(name, flops, d, d, d)
+        perf = self.models[name].performance(d, d, d)
+        return flops / perf
+
+    def variant_time_many(self, variant, instances: np.ndarray) -> np.ndarray:
+        """Model-estimated execution time of a variant on many instances."""
+        instances = np.asarray(instances, dtype=np.float64)
+        total = np.zeros(instances.shape[0])
+        for step in variant.steps:
+            total += self.step_time_many(step, instances)
+        for fixup in variant.fixups:
+            total += self.fixup_time_many(fixup, instances)
+        return total
+
+    def variant_time(self, variant, sizes: Sequence[int]) -> float:
+        q = np.asarray([sizes], dtype=np.float64)
+        return float(self.variant_time_many(variant, q)[0])

@@ -1,0 +1,50 @@
+"""Wall-clock timing of the NumPy reference kernels.
+
+For users who want real-hardware numbers instead of the simulated machine,
+this module measures the reference implementations and can feed measured
+FLOP/s grids into :class:`~repro.perfmodel.models.PerformanceModelSet`-style
+interpolation.  Measurements are summarized by the median of repeated runs,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.compiler.executor import execute_variant
+from repro.compiler.variant import Variant
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 10) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def time_variant(
+    variant: Variant,
+    arrays: Sequence[np.ndarray],
+    repeats: int = 10,
+) -> float:
+    """Median wall-clock seconds to execute a variant on concrete operands."""
+    return time_callable(lambda: execute_variant(variant, list(arrays)), repeats)
+
+
+def measured_performance(
+    variant: Variant, arrays: Sequence[np.ndarray], sizes: Sequence[int], repeats: int = 10
+) -> float:
+    """Measured FLOP/s of a variant execution (analytic FLOPs / median time)."""
+    seconds = time_variant(variant, arrays, repeats)
+    if seconds <= 0.0:
+        return float("inf")
+    return variant.flop_cost(sizes) / seconds

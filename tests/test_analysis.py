@@ -1,0 +1,159 @@
+"""Tests for the analysis subpackage: crossovers, usefulness, reports."""
+
+import numpy as np
+import pytest
+import sympy
+
+from repro.errors import ShapeError
+from repro.ir.chain import Chain
+from repro.analysis.crossover import (
+    SizeFamily,
+    T,
+    best_variant_regions,
+    cost_along_family,
+    crossover_points,
+)
+from repro.analysis.report import chain_report
+from repro.analysis.usefulness import (
+    dominated_variants,
+    empirical_essential_subset,
+    useful_variants,
+    win_frequencies,
+    empirical_essential_subset as essential_probe,
+)
+from repro.compiler.selection import (
+    CostMatrix,
+    all_variants,
+    fanning_out_variants,
+)
+from repro.experiments.sampling import sample_instances
+
+from conftest import general_chain, make_general, make_lower
+
+
+class TestSizeFamily:
+    def test_validates_length(self):
+        with pytest.raises(ShapeError):
+            SizeFamily(general_chain(3), (1, T))
+
+    def test_validates_squareness(self):
+        chain = Chain(
+            (make_lower("L").as_operand(), make_general("G").as_operand())
+        )
+        with pytest.raises(ShapeError):
+            SizeFamily(chain, (T, 2 * T, 5))
+        SizeFamily(chain, (T, T, 5))  # bound symbols equal: fine
+
+    def test_instance_evaluation(self):
+        family = SizeFamily(general_chain(3), (1, T, 1, T))
+        assert family.instance(10) == (1, 10, 1, 10)
+
+
+class TestCrossovers:
+    def test_paper_intro_example(self):
+        # G1 G2 G3 on q = (1, t, 1, t): ((G1 G2) G3) costs 4t while
+        # (G1 (G2 G3)) costs 4t^2 — the t-fold gap from the paper's intro
+        # (x^T (y z^T) performs m times more multiplications).
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        family = SizeFamily(chain, (1, T, 1, T))
+        by_str = {str(v): v for v in variants}
+        ltr = by_str["((G1 G2) G3)"]
+        rtl = by_str["(G1 (G2 G3))"]
+        assert sympy.expand(cost_along_family(ltr, family)) == 4 * T
+        assert sympy.expand(cost_along_family(rtl, family)) == 4 * T**2
+        points = crossover_points(ltr, rtl, family, domain=(0.5, 1e6))
+        assert points == [1.0]
+
+    def test_no_crossover_for_identical_variants(self):
+        chain = general_chain(3)
+        variant = all_variants(chain)[0]
+        family = SizeFamily(chain, (2, T, 3, T))
+        assert crossover_points(variant, variant, family) == []
+
+    def test_regions_partition_domain(self):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        family = SizeFamily(chain, (10, T, 5, T, 20))
+        regions = best_variant_regions(variants, family, domain=(1.0, 10000.0))
+        assert regions[0][0] == 1.0
+        assert regions[-1][1] == 10000.0
+        for (a, b, _), (c, d, _) in zip(regions, regions[1:]):
+            assert b == c
+        # Winners in the region match brute-force evaluation at midpoints.
+        for a, b, winner in regions:
+            mid = (a + b) / 2
+            q = family.instance(mid)
+            best = min(variants, key=lambda v: v.flop_cost(q))
+            assert best.flop_cost(q) == pytest.approx(winner.flop_cost(q))
+
+    def test_regions_merge_adjacent_same_winner(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        family = SizeFamily(chain, (1, T, 1, T))
+        regions = best_variant_regions(variants, family, domain=(2.0, 1e5))
+        # Left-to-right dominates everywhere above t = 1: a single region.
+        assert len(regions) == 1
+        assert str(regions[0][2]) == "((G1 G2) G3)"
+
+
+class TestUsefulness:
+    def _matrix(self, n=4, count=400, seed=0):
+        chain = general_chain(n)
+        rng = np.random.default_rng(seed)
+        instances = sample_instances(chain, count, rng, low=2, high=1000)
+        return chain, CostMatrix(all_variants(chain), instances)
+
+    def test_win_frequencies_sum_at_least_one(self):
+        chain, matrix = self._matrix()
+        frequencies = win_frequencies(matrix)
+        assert sum(frequencies.values()) >= 1.0 - 1e-9
+        assert all(0.0 <= f <= 1.0 for f in frequencies.values())
+
+    def test_useful_plus_dominated_is_everything(self):
+        chain, matrix = self._matrix()
+        useful = useful_variants(matrix)
+        dominated = dominated_variants(matrix)
+        assert len(useful) + len(dominated) == len(matrix.variants)
+
+    def test_all_are_useful_on_dense_sample(self):
+        # López et al.: every parenthesization of a standard chain is
+        # strictly optimal somewhere.  On a reasonably dense sample most
+        # (here: all 5 for n = 4) should win at least once.
+        chain, matrix = self._matrix(n=4, count=2000, seed=3)
+        assert len(useful_variants(matrix)) == 5
+
+    def test_essential_probe_respects_bound(self):
+        chain, matrix = self._matrix(n=5, count=800, seed=1)
+        fanning = list(fanning_out_variants(chain).values())
+        probe = empirical_essential_subset(matrix, fanning, penalty_bound=15.0)
+        assert 1 <= len(probe) <= len(fanning)
+        sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+        idx = [sig_to_idx[v.signature()] for v in probe]
+        assert matrix.max_penalty(idx) <= 15.0
+
+    def test_essential_probe_empty_initial(self):
+        chain, matrix = self._matrix()
+        assert essential_probe(matrix, [], penalty_bound=15.0) == []
+
+
+class TestReport:
+    def test_report_structure(self):
+        chain = Chain(
+            (make_lower("L").as_operand(),
+             make_general("G", invertible=True).inv,
+             make_general("H").as_operand())
+        )
+        report = chain_report(chain, num_instances=100, seed=0)
+        assert "# Compilation report" in report
+        assert "equivalence classes" in report
+        assert "Theorem 2" in report
+        assert "Dispatch preview" in report
+        assert "| L |" in report or "LowerTri" in report
+
+    def test_report_via_facade(self):
+        from repro.api import compile_chain
+
+        generated = compile_chain(general_chain(4), num_training_instances=50)
+        report = generated.report(num_instances=80)
+        assert "win frequencies" in report.lower()

@@ -1,0 +1,116 @@
+"""Tests for symbolic chains, size symbols, equivalence classes, instances."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+
+from conftest import (
+    general_chain,
+    make_general,
+    make_lower,
+    make_symmetric,
+    make_upper,
+)
+
+
+class TestBasics:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ShapeError):
+            Chain(())
+
+    def test_size_symbols(self):
+        chain = general_chain(3)
+        assert chain.size_symbols() == ("q0", "q1", "q2", "q3")
+
+    def test_iteration_and_indexing(self):
+        chain = general_chain(4)
+        assert len(chain) == 4
+        assert chain[0].matrix.name == "G1"
+        assert [op.matrix.name for op in chain] == ["G1", "G2", "G3", "G4"]
+
+
+class TestEquivalenceClasses:
+    def test_all_general_chain_has_singleton_classes(self):
+        chain = general_chain(4)
+        classes = chain.equivalence_classes()
+        assert classes == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_paper_example(self):
+        # S1 G2 S3 L4 G5 from Section V: classes {q0,q1}, {q2,q3,q4}, {q5}.
+        chain = Chain(
+            (
+                make_symmetric("S1").as_operand(),
+                make_general("G2").as_operand(),
+                make_symmetric("S3").as_operand(),
+                make_lower("L4").as_operand(),
+                make_general("G5").as_operand(),
+            )
+        )
+        assert chain.equivalence_classes() == [(0, 1), (2, 3, 4), (5,)]
+
+    def test_class_count_formula(self):
+        # n_c = n - n_sq + 1 where n_sq counts necessarily-square matrices.
+        chain = Chain(
+            (
+                make_general("A").as_operand(),
+                make_upper("U").as_operand(),
+                make_general("B", invertible=True).inv,
+                make_general("C").as_operand(),
+            )
+        )
+        n_sq = sum(chain.square_flags())
+        assert n_sq == 2
+        assert len(chain.equivalence_classes()) == chain.n - n_sq + 1
+
+    def test_class_of(self):
+        chain = Chain(
+            (make_lower("L").as_operand(), make_general("G").as_operand())
+        )
+        assert chain.class_of(0) == (0, 1)
+        assert chain.class_of(2) == (2,)
+        with pytest.raises(ShapeError):
+            chain.class_of(5)
+
+
+class TestInstances:
+    def test_validate_ok(self):
+        chain = general_chain(2)
+        assert chain.validate_sizes([3, 4, 5]) == (3, 4, 5)
+
+    def test_wrong_length(self):
+        with pytest.raises(ShapeError):
+            general_chain(2).validate_sizes([3, 4])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ShapeError):
+            general_chain(2).validate_sizes([3, 0, 5])
+
+    def test_square_constraint_enforced(self):
+        chain = Chain(
+            (make_lower("L").as_operand(), make_general("G").as_operand())
+        )
+        chain.validate_sizes([4, 4, 7])
+        with pytest.raises(ShapeError):
+            chain.validate_sizes([4, 5, 7])
+
+    def test_instance_accessors(self):
+        chain = general_chain(3)
+        inst = chain.instance([2, 3, 4, 5])
+        assert inst.n == 3
+        assert inst.matrix_dims(1) == (3, 4)
+        assert inst.result_dims() == (2, 5)
+
+
+class TestSignatures:
+    def test_signature_distinguishes_features(self):
+        c1 = Chain((make_lower("L").as_operand(), make_general("G").as_operand()))
+        c2 = Chain((make_upper("U").as_operand(), make_general("G").as_operand()))
+        assert c1.shape_signature() != c2.shape_signature()
+
+    def test_signature_ignores_names(self):
+        c1 = Chain((make_general("A").as_operand(), make_general("B").as_operand()))
+        c2 = Chain((make_general("X").as_operand(), make_general("Y").as_operand()))
+        assert c1.shape_signature() == c2.shape_signature()

@@ -1,0 +1,92 @@
+"""Unit tests for the cost-function primitives (Monomial, CostFunction)."""
+
+from fractions import Fraction
+
+import pytest
+import sympy
+
+from repro.kernels.cost import (
+    CostFunction,
+    CostType,
+    Monomial,
+    ZERO_COST,
+    cubed_left,
+    evaluate_terms,
+    linear,
+    scaling,
+    solve_left,
+    solve_right,
+    square_left_times_n,
+    square_right_times_m,
+    trilinear,
+    unary_cubed,
+)
+
+
+class TestMonomial:
+    def test_evaluate(self):
+        mono = Monomial(Fraction(2, 3), 3, 0, 0)
+        assert mono.evaluate(6, 1, 1) == pytest.approx(2 / 3 * 216)
+
+    def test_to_sympy_exact_rational(self):
+        m, k, n = sympy.symbols("m k n", positive=True)
+        mono = Monomial(Fraction(7, 3), 1, 1, 1)
+        expr = mono.to_sympy(m, k, n)
+        assert expr == sympy.Rational(7, 3) * m * k * n
+
+    def test_str(self):
+        assert str(Monomial(Fraction(2), 1, 1, 1)) == "2*m*k*n"
+        assert str(Monomial(Fraction(1, 3), 3, 0, 0)) == "1/3*m^3"
+        assert str(Monomial(Fraction(5), 0, 0, 0)) == "5*1"
+
+
+class TestCostFunction:
+    def test_evaluate_sums_terms(self):
+        fn = solve_left(Fraction(2, 3), 2)
+        assert fn.evaluate(3, 1, 4) == pytest.approx(2 / 3 * 27 + 2 * 9 * 4)
+
+    def test_degree(self):
+        assert trilinear(2).degree == 3
+        assert scaling(1).degree == 2
+        assert linear(1).degree == 1
+
+    def test_str(self):
+        assert str(trilinear(2)) == "2*m*k*n"
+        assert "+" in str(solve_right(Fraction(1, 3), 2))
+
+    def test_zero_cost(self):
+        assert ZERO_COST.evaluate(100, 100, 100) == 0.0
+        assert ZERO_COST.terms == ()
+
+    def test_sympy_matches_numeric(self):
+        m, k, n = sympy.symbols("m k n", positive=True)
+        for fn in (
+            trilinear(2),
+            cubed_left(Fraction(7, 3)),
+            square_left_times_n(2),
+            square_right_times_m(1),
+            solve_left(Fraction(2, 3), 2),
+            solve_right(Fraction(1, 3), 2),
+            unary_cubed(2),
+            scaling(1),
+            linear(1),
+        ):
+            expr = fn.to_sympy(m, k, n)
+            value = float(expr.subs({m: 5, k: 6, n: 7}))
+            assert value == pytest.approx(fn.evaluate(5, 6, 7))
+
+    def test_classification(self):
+        assert trilinear(2).cost_type is CostType.TYPE_I
+        assert solve_left(1, 2).cost_type is CostType.TYPE_IIA
+        assert solve_right(1, 2).cost_type is CostType.TYPE_IIB
+        assert unary_cubed(2).cost_type is CostType.UNARY
+        assert scaling(1).cost_type is CostType.EXTENSION
+
+
+class TestEvaluateTerms:
+    def test_matches_cost_function(self):
+        fn = solve_left(Fraction(2, 3), 2)
+        assert evaluate_terms(fn.terms, 3, 1, 4) == fn.evaluate(3, 1, 4)
+
+    def test_empty_terms(self):
+        assert evaluate_terms((), 3, 3, 3) == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for the kernel usage census."""
+
+import numpy as np
+import pytest
+
+from repro.ir.chain import Chain
+from repro.experiments.coverage import (
+    KernelCensus,
+    census_of_option_space,
+    kernel_census,
+)
+
+from conftest import general_chain, make_general, make_lower
+
+
+class TestKernelCensus:
+    def test_standard_chain_counts(self):
+        census = kernel_census([general_chain(4)])
+        # 5 parenthesizations x 3 GEMMs each.
+        assert census.shapes == 1
+        assert census.variants == 5
+        assert census.counts["GEMM"] == 15
+        assert census.total_calls == 15
+        assert census.frequency("GEMM") == 1.0
+
+    def test_structured_chain_uses_solves(self):
+        chain = Chain(
+            (make_lower("L").inv, make_general("G").as_operand())
+        )
+        census = kernel_census([chain])
+        assert census.counts["TRSM"] == 1
+        assert census.frequency("TRSM") == 1.0
+
+    def test_per_shape_variant_cap(self):
+        census = kernel_census([general_chain(5)], per_shape_variants=3)
+        assert census.variants == 3
+
+    def test_unused_kernels_lists_missing(self):
+        census = kernel_census([general_chain(3)])
+        unused = census.unused_kernels()
+        assert "GEMM" not in unused
+        assert "POTRSV" in unused
+
+    def test_empty_census(self):
+        census = kernel_census([])
+        assert census.total_calls == 0
+        assert census.frequency("GEMM") == 0.0
+
+    def test_format_table(self):
+        census = kernel_census([general_chain(3)])
+        text = census.format_table()
+        assert "GEMM" in text and "share" in text
+
+    def test_option_space_sampled(self):
+        census = census_of_option_space(4, sample=5, seed=2)
+        assert census.shapes == 5
+        assert census.total_calls > 0

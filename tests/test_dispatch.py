@@ -1,0 +1,89 @@
+"""Tests for the run-time dispatcher (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DispatchError
+from repro.compiler.dispatch import Dispatcher, flop_estimator
+from repro.compiler.executor import naive_evaluate, random_instance_arrays
+from repro.compiler.selection import all_variants, optimal_cost
+from repro.experiments.sampling import sample_instances
+
+from conftest import general_chain, random_option_chain, small_sizes_for
+
+
+class TestSelection:
+    def test_selects_argmin(self):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (30, 2, 40, 3, 50)
+        variant, cost = dispatcher.select(q)
+        assert cost == pytest.approx(optimal_cost(chain, q))
+        assert variant.flop_cost(q) == pytest.approx(cost)
+
+    def test_selection_changes_with_sizes(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        left_first, _ = dispatcher.select((2, 3, 2, 100))
+        right_first, _ = dispatcher.select((100, 2, 3, 2))
+        assert left_first.signature() != right_first.signature()
+
+    def test_costs_listing(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        listing = dispatcher.costs((4, 5, 6, 7))
+        assert len(listing) == 2
+        for _, cost in listing:
+            assert cost > 0
+
+    def test_custom_estimator(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        # An estimator that inverts preferences picks the worst variant.
+        dispatcher = Dispatcher(
+            chain, variants, cost_estimator=lambda v, q: -flop_estimator(v, q)
+        )
+        q = (2, 3, 2, 100)
+        worst, _ = dispatcher.select(q)
+        best = min(variants, key=lambda v: v.flop_cost(q))
+        assert worst.signature() != best.signature()
+
+
+class TestExecution:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_end_to_end_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        chain = random_option_chain(4, rng)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        sizes = small_sizes_for(chain, rng)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        expected = naive_evaluate(chain, arrays)
+        got = dispatcher(*arrays)
+        scale = max(1.0, float(np.abs(expected).max()))
+        np.testing.assert_allclose(got / scale, expected / scale, atol=1e-7)
+
+    def test_accepts_list_argument(self):
+        rng = np.random.default_rng(11)
+        chain = general_chain(2)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        arrays = random_instance_arrays(chain, (3, 4, 5), rng)
+        np.testing.assert_allclose(
+            dispatcher(arrays), dispatcher(*arrays)
+        )
+
+
+class TestValidation:
+    def test_needs_variants(self):
+        with pytest.raises(DispatchError):
+            Dispatcher(general_chain(3), [])
+
+    def test_rejects_foreign_variants(self):
+        chain_a, chain_b = general_chain(3), general_chain(4)
+        with pytest.raises(DispatchError):
+            Dispatcher(chain_a, all_variants(chain_b))
+
+    def test_len(self):
+        chain = general_chain(4)
+        assert len(Dispatcher(chain, all_variants(chain))) == 5

@@ -1,0 +1,89 @@
+"""Tests for the generalized-matrix-chain dynamic program."""
+
+import numpy as np
+import pytest
+
+from repro.ir.chain import Chain
+from repro.compiler.dp import dp_optimal_cost
+from repro.compiler.selection import all_variants, optimal_cost
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import general_chain, make_general, make_lower
+
+
+class TestAgainstEnumeration:
+    def test_standard_chain_matches_classic_mcp(self):
+        # The classic CLRS example: dimensions 30x35, 35x15, 15x5, 5x10,
+        # 10x20, 20x25 -> 15125 scalar multiplications (30250 FLOPs).
+        chain = general_chain(6)
+        q = (30, 35, 15, 5, 10, 20, 25)
+        assert dp_optimal_cost(chain, q) == 2 * 15125
+        assert optimal_cost(chain, q) == 2 * 15125
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        for chain in sample_shapes(5, 3, rng, rectangular_probability=0.5):
+            for q in sample_instances(chain, 10, rng, low=2, high=200):
+                dp = dp_optimal_cost(chain, tuple(q))
+                enum = optimal_cost(chain, tuple(q))
+                assert dp <= enum * (1 + 1e-9) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_usually_equal_to_enumeration(self, seed):
+        # The DP explores kernel choices beyond the per-parenthesization
+        # heuristic, so it can only be equal or better; on standard and
+        # mildly structured chains it coincides.
+        rng = np.random.default_rng(100 + seed)
+        chain = general_chain(5)
+        for q in sample_instances(chain, 10, rng, low=2, high=300):
+            assert dp_optimal_cost(chain, tuple(q)) == pytest.approx(
+                optimal_cost(chain, tuple(q))
+            )
+
+
+class TestDegenerateChains:
+    def test_single_matrix(self):
+        chain = Chain((make_general("A").as_operand(),))
+        assert dp_optimal_cost(chain, (3, 7)) == 0.0
+
+    def test_single_inverted_matrix(self):
+        chain = Chain((make_general("A", invertible=True).inv,))
+        assert dp_optimal_cost(chain, (5, 5)) == 2 * 5**3
+
+    def test_two_matrices(self):
+        chain = general_chain(2)
+        assert dp_optimal_cost(chain, (2, 3, 4)) == 2 * 2 * 3 * 4
+
+    def test_validates_sizes(self):
+        chain = Chain((make_lower("L").as_operand(),))
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            dp_optimal_cost(chain, (3, 4))
+
+
+class TestStructuredChains:
+    def test_triangular_chain_uses_cheap_kernels(self):
+        # L1 L2 with equal triangularity costs m^3/3 via TRTRMM.
+        chain = Chain((make_lower("L1").as_operand(), make_lower("L2").as_operand()))
+        m = 9
+        assert dp_optimal_cost(chain, (m, m, m)) == pytest.approx(m**3 / 3)
+
+    def test_paper_example_cost(self):
+        from conftest import make_general, make_lower
+
+        chain = Chain(
+            (
+                make_lower("L1").as_operand(),
+                make_general("G2", invertible=True).inv,
+                make_general("G3").as_operand(),
+            )
+        )
+        m, n = 12, 40
+        # Optimum is min of the two parenthesizations' variants.
+        expected = min(
+            5 / 3 * m**3 + 2 * m * m * n,      # (L1 G2^-1) G3
+            2 / 3 * m**3 + 2 * m * m * n + m * m * n,  # L1 (G2^-1 G3)
+        )
+        assert dp_optimal_cost(chain, (m, m, m, n)) == pytest.approx(expected)

@@ -1,0 +1,94 @@
+"""Tests for the greedy ExpandSet procedure (Algorithm 1, Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.experiments.sampling import sample_instances
+
+from conftest import general_chain
+
+
+def _setup(n=5, count=300, seed=0):
+    chain = general_chain(n)
+    variants = all_variants(chain)
+    rng = np.random.default_rng(seed)
+    instances = sample_instances(chain, count, rng, low=2, high=1000)
+    matrix = CostMatrix(variants, instances)
+    base = essential_set(chain, cost_matrix=matrix)
+    return chain, matrix, base
+
+
+class TestExpandSet:
+    def test_respects_max_size(self):
+        chain, matrix, base = _setup()
+        expanded = expand_set(matrix, base, max_size=len(base) + 2)
+        assert len(expanded) <= len(base) + 2
+
+    def test_contains_initial_set(self):
+        chain, matrix, base = _setup()
+        expanded = expand_set(matrix, base, max_size=len(base) + 2)
+        base_sigs = {v.signature() for v in base}
+        expanded_sigs = {v.signature() for v in expanded}
+        assert base_sigs <= expanded_sigs
+
+    def test_objective_never_increases(self):
+        chain, matrix, base = _setup()
+        sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+
+        def score(variants):
+            return AveragePenalty(matrix, [sig_to_idx[v.signature()] for v in variants])
+
+        previous = score(base)
+        for extra in (1, 2, 3):
+            expanded = expand_set(matrix, base, max_size=len(base) + extra)
+            value = score(expanded)
+            assert value <= previous + 1e-12
+            previous = value
+
+    def test_stops_when_no_improvement(self):
+        chain, matrix, base = _setup(n=3)
+        # With n = 3 there are only 2 variants; selecting both leaves no
+        # improvement possible and the loop must stop early.
+        expanded = expand_set(matrix, all_variants(chain), max_size=10)
+        assert len(expanded) == 2
+
+    def test_empty_initial_set(self):
+        chain, matrix, _ = _setup(n=4)
+        expanded = expand_set(matrix, [], max_size=1)
+        assert len(expanded) == 1
+        # The greedy pick from an empty set minimizes the objective alone.
+        best_single = min(
+            range(len(matrix.variants)),
+            key=lambda i: AveragePenalty(matrix, [i]),
+        )
+        assert expanded[0].signature() == matrix.variants[best_single].signature()
+
+    def test_max_objective(self):
+        chain, matrix, base = _setup()
+        expanded = expand_set(
+            matrix, base, max_size=len(base) + 1, objective=MaxPenalty
+        )
+        sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+        idx = [sig_to_idx[v.signature()] for v in expanded]
+        base_idx = [sig_to_idx[v.signature()] for v in base]
+        assert matrix.max_penalty(idx) <= matrix.max_penalty(base_idx) + 1e-12
+
+    def test_unknown_initial_variant_rejected(self):
+        chain, matrix, base = _setup(n=4)
+        other_chain, other_matrix, other_base = _setup(n=5)
+        with pytest.raises(ValueError):
+            expand_set(matrix, other_base, max_size=8)
+
+    def test_full_set_reaches_zero_penalty(self):
+        chain, matrix, base = _setup(n=4)
+        expanded = expand_set(matrix, [], max_size=len(matrix.variants))
+        idx = list(range(len(matrix.variants)))
+        sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+        got = [sig_to_idx[v.signature()] for v in expanded]
+        # Expansion stops once the penalty cannot improve; the final value
+        # must equal the full-set optimum (zero penalty).
+        assert matrix.average_penalty(got) == pytest.approx(
+            matrix.average_penalty(idx)
+        )

@@ -1,0 +1,155 @@
+"""Tests for sampling, eCDFs, and the two experiment harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.ir.operand import UnaryOp
+from repro.experiments.ecdf import ECDF, format_summary_table, summarize_ratios
+from repro.experiments.flops_experiment import evaluate_shape, run_flops_experiment
+from repro.experiments.sampling import (
+    MATRIX_OPTIONS,
+    RECTANGULAR_OPTION,
+    count_shapes,
+    enumerate_shapes,
+    sample_instances,
+    sample_shapes,
+    shape_from_options,
+)
+from repro.experiments.time_experiment import run_time_experiment
+
+
+class TestMatrixOptions:
+    def test_exactly_ten_options(self):
+        assert len(MATRIX_OPTIONS) == 10
+
+    def test_no_transpositions(self):
+        assert all(op is not UnaryOp.TRANSPOSE for _, _, op in MATRIX_OPTIONS)
+
+    def test_only_one_rectangular_option(self):
+        from repro.ir.features import features_imply_square
+
+        rect = [
+            i
+            for i, (structure, prop, op) in enumerate(MATRIX_OPTIONS)
+            if not features_imply_square(structure, prop) and not op.inverted
+        ]
+        assert rect == [RECTANGULAR_OPTION]
+
+    def test_shape_count_formula(self):
+        assert count_shapes(2) == 10**2 - 9**2
+        assert count_shapes(5) == 10**5 - 9**5
+
+    def test_enumeration_matches_formula(self):
+        assert sum(1 for _ in enumerate_shapes(2)) == count_shapes(2)
+
+    def test_enumerated_shapes_have_rectangular_matrix(self):
+        for chain in enumerate_shapes(2):
+            assert any(not op.is_square for op in chain)
+
+
+class TestSamplers:
+    def test_sample_shapes_rectangular_constraint(self):
+        rng = np.random.default_rng(0)
+        for chain in sample_shapes(7, 20, rng, rectangular_probability=0.5):
+            assert chain.n == 7
+            assert any(not op.is_square for op in chain)
+
+    def test_sample_shapes_uniform_mode(self):
+        rng = np.random.default_rng(1)
+        shapes = sample_shapes(5, 10, rng, rectangular_probability=None)
+        assert len(shapes) == 10
+
+    def test_sample_instances_respects_classes(self):
+        rng = np.random.default_rng(2)
+        chain = shape_from_options([2, 0, 5])  # SPD, rectangular G, lower-tri
+        instances = sample_instances(chain, 50, rng, low=3, high=20)
+        assert instances.shape == (50, 4)
+        for q in instances:
+            chain.validate_sizes(q)
+
+    def test_sample_instances_range(self):
+        rng = np.random.default_rng(3)
+        chain = shape_from_options([0, 0])
+        instances = sample_instances(chain, 100, rng, low=5, high=9)
+        assert instances.min() >= 5
+        assert instances.max() <= 9
+
+
+class TestECDF:
+    def test_fraction_and_quantile(self):
+        ecdf = ECDF.from_sample([1.0, 1.1, 1.2, 1.3, 2.0])
+        assert ecdf.fraction_at_or_below(1.15) == pytest.approx(0.4)
+        assert ecdf.fraction_at_or_below(2.0) == 1.0
+        assert ecdf.quantile(0.5) == pytest.approx(1.2)
+        assert ecdf.max == 2.0
+        assert ecdf.min == 1.0
+
+    def test_quantile_bounds(self):
+        ecdf = ECDF.from_sample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF.from_sample([])
+
+    def test_curve(self):
+        ecdf = ECDF.from_sample([1.0, 1.5])
+        assert ecdf.curve([1.0, 1.5]) == [(1.0, 0.5), (1.5, 1.0)]
+
+    def test_summary_table_formatting(self):
+        rows = summarize_ratios({"A": np.array([1.0, 1.4]), "B": np.array([2.0])})
+        text = format_summary_table(rows)
+        assert "A" in text and "B" in text and "max" in text
+
+
+class TestFlopsExperiment:
+    def test_single_shape_ratios(self):
+        rng = np.random.default_rng(0)
+        chain = shape_from_options([0, 2, 5, 0, 6])
+        ratios = evaluate_shape(chain, rng, train_instances=300, val_instances=100)
+        assert set(ratios) == {"Es", "Es1", "Es2", "L"}
+        for values in ratios.values():
+            assert (values >= 1.0 - 1e-12).all()
+
+    def test_small_run_reproduces_paper_ordering(self):
+        result = run_flops_experiment(
+            n_values=(5,),
+            shapes_per_n=6,
+            train_instances=400,
+            val_instances=100,
+            seed=2,
+        )
+        ratios = result.ratios[5]
+        # Expanded sets dominate the base set which dominates left-to-right.
+        assert ratios["Es2"].mean() <= ratios["Es1"].mean() + 1e-9
+        assert ratios["Es1"].mean() <= ratios["Es"].mean() + 1e-9
+        assert ratios["Es"].mean() < ratios["L"].mean()
+        # Theory bound: the base set is within the Lemma 2 factor everywhere.
+        assert ratios["Es"].max() <= 16.0
+
+    def test_result_helpers(self):
+        result = run_flops_experiment(
+            n_values=(5,), shapes_per_n=2, train_instances=100,
+            val_instances=50, seed=0,
+        )
+        assert result.shapes_tested[5] == 2
+        assert result.ecdf(5, "Es").max >= 1.0
+        pooled = result.pooled()
+        assert pooled["L"].size == 2 * 50
+        assert "n = 5" in result.summary_table()
+
+
+class TestTimeExperiment:
+    def test_small_run_reproduces_paper_ordering(self):
+        result = run_time_experiment(
+            num_shapes=3, train_instances=300, val_instances=80, seed=4
+        )
+        assert set(result.ratios) == {"Es", "Es1,F", "Es1,M", "L", "Arma"}
+        # The generated sets beat the references on average.
+        assert result.ratios["Es"].mean() < result.ratios["L"].mean()
+        assert result.ratios["L"].mean() <= result.ratios["Arma"].mean() + 1e-9
+        # Every generated flavour is faster than Armadillo on average.
+        for name, speedup in result.speedup_over_armadillo.items():
+            assert speedup > 1.0
+        assert "speedup over Armadillo" in result.summary_table()

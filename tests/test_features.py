@@ -1,0 +1,99 @@
+"""Tests for matrix features: structures, properties, validation (§III-A)."""
+
+import pytest
+
+from repro.errors import InvalidFeaturesError
+from repro.ir.features import (
+    Property,
+    Structure,
+    features_imply_square,
+    is_identity,
+    validate_features,
+)
+
+
+class TestStructure:
+    def test_general_not_square(self):
+        assert not Structure.GENERAL.implies_square
+
+    @pytest.mark.parametrize(
+        "structure",
+        [Structure.SYMMETRIC, Structure.LOWER_TRIANGULAR, Structure.UPPER_TRIANGULAR],
+    )
+    def test_non_general_implies_square(self, structure):
+        assert structure.implies_square
+
+    def test_triangularity(self):
+        assert Structure.LOWER_TRIANGULAR.is_triangular
+        assert Structure.UPPER_TRIANGULAR.is_triangular
+        assert not Structure.GENERAL.is_triangular
+        assert not Structure.SYMMETRIC.is_triangular
+
+    def test_transposed_flips_triangularity(self):
+        assert Structure.LOWER_TRIANGULAR.transposed is Structure.UPPER_TRIANGULAR
+        assert Structure.UPPER_TRIANGULAR.transposed is Structure.LOWER_TRIANGULAR
+
+    def test_transposed_preserves_general_and_symmetric(self):
+        assert Structure.GENERAL.transposed is Structure.GENERAL
+        assert Structure.SYMMETRIC.transposed is Structure.SYMMETRIC
+
+    def test_double_transpose_is_identity(self):
+        for structure in Structure:
+            assert structure.transposed.transposed is structure
+
+
+class TestProperty:
+    def test_singular_not_invertible(self):
+        assert not Property.SINGULAR.is_invertible
+
+    @pytest.mark.parametrize(
+        "prop", [Property.NON_SINGULAR, Property.SPD, Property.ORTHOGONAL]
+    )
+    def test_invertible_properties(self, prop):
+        assert prop.is_invertible
+        assert prop.implies_square
+
+    def test_singular_allows_rectangular(self):
+        assert not Property.SINGULAR.implies_square
+
+
+class TestValidation:
+    def test_spd_requires_symmetric_structure(self):
+        with pytest.raises(InvalidFeaturesError):
+            validate_features(Structure.GENERAL, Property.SPD)
+        with pytest.raises(InvalidFeaturesError):
+            validate_features(Structure.LOWER_TRIANGULAR, Property.SPD)
+
+    def test_spd_symmetric_is_valid(self):
+        validate_features(Structure.SYMMETRIC, Property.SPD)
+
+    def test_all_non_spd_combinations_valid(self):
+        for structure in Structure:
+            for prop in Property:
+                if prop is Property.SPD:
+                    continue
+                validate_features(structure, prop)
+
+
+class TestIdentity:
+    def test_triangular_orthogonal_is_identity(self):
+        assert is_identity(Structure.LOWER_TRIANGULAR, Property.ORTHOGONAL)
+        assert is_identity(Structure.UPPER_TRIANGULAR, Property.ORTHOGONAL)
+
+    def test_other_combinations_are_not_identity(self):
+        assert not is_identity(Structure.GENERAL, Property.ORTHOGONAL)
+        assert not is_identity(Structure.SYMMETRIC, Property.ORTHOGONAL)
+        assert not is_identity(Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR)
+
+
+class TestSquareness:
+    def test_general_singular_rectangular(self):
+        assert not features_imply_square(Structure.GENERAL, Property.SINGULAR)
+
+    def test_structure_forces_square(self):
+        assert features_imply_square(Structure.SYMMETRIC, Property.SINGULAR)
+        assert features_imply_square(Structure.LOWER_TRIANGULAR, Property.SINGULAR)
+
+    def test_property_forces_square(self):
+        assert features_imply_square(Structure.GENERAL, Property.NON_SINGULAR)
+        assert features_imply_square(Structure.GENERAL, Property.ORTHOGONAL)

@@ -1,0 +1,86 @@
+"""Tests for the ASCII eCDF figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import render_ecdf_chart, render_fig5, render_fig6
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_ecdf_chart(
+            {"A": np.array([1.0, 1.1, 1.2]), "B": np.array([1.4, 1.45])},
+            width=40,
+            height=10,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "legend: A = A, B = B" in lines[-1]
+        assert any("100%" in line for line in lines)
+        # Axis line present.
+        assert any(set(line.strip()) == {"+", "-"} for line in lines)
+
+    def test_step_at_one_reaches_top(self):
+        # A set that is optimal everywhere plots at 100% across the chart.
+        chart = render_ecdf_chart({"opt": np.ones(50)}, width=30, height=10)
+        first_data_row = chart.splitlines()[0]
+        assert "o" in first_data_row
+
+    def test_heavy_tail_stays_low(self):
+        chart = render_ecdf_chart(
+            {"bad": np.full(50, 10.0)}, width=30, height=10, x_max=1.5
+        )
+        rows = chart.splitlines()
+        # The curve never rises above the bottom row within the x-range.
+        data_rows = [r for r in rows if "|" in r]
+        assert all("b" not in r for r in data_rows[:-1])
+        assert "b" in data_rows[-1]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            render_ecdf_chart({})
+
+
+class TestFigureWrappers:
+    def test_render_fig5_panel(self):
+        from repro.experiments.flops_experiment import run_flops_experiment
+
+        result = run_flops_experiment(
+            n_values=(5,), shapes_per_n=2, train_instances=100,
+            val_instances=40, seed=1,
+        )
+        chart = render_fig5(result, 5, width=40, height=10)
+        assert "Fig. 5 (n = 5)" in chart
+        assert "Es" in chart.splitlines()[-1]
+
+    def test_render_fig6(self):
+        from repro.experiments.time_experiment import run_time_experiment
+
+        result = run_time_experiment(
+            num_shapes=2, train_instances=100, val_instances=40, seed=1
+        )
+        chart = render_fig6(result, width=40, height=10)
+        assert "Fig. 6" in chart
+        assert "Arma" in chart.splitlines()[-1]
+
+
+class TestCliPlot:
+    def test_fig5_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fig5", "--n", "5", "--shapes", "2", "--train", "80",
+             "--val", "30", "--plot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_fig6_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fig6", "--shapes", "2", "--train", "80", "--val", "30", "--plot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

@@ -1,0 +1,112 @@
+"""Tests for structure/property inference of intermediate results (Fig. 4)."""
+
+import pytest
+
+from repro.ir.features import Property, Structure
+from repro.inference.rules import (
+    infer_association_features,
+    infer_product_structure,
+    infer_property,
+)
+
+G = Structure.GENERAL
+S = Structure.SYMMETRIC
+L = Structure.LOWER_TRIANGULAR
+U = Structure.UPPER_TRIANGULAR
+
+
+class TestStructureInference:
+    @pytest.mark.parametrize(
+        "left,right,result",
+        [
+            (G, G, G),
+            (G, S, G),
+            (S, G, G),
+            (S, S, G),  # symmetric x symmetric is NOT symmetric in general
+            (L, L, L),
+            (U, U, U),
+            (L, U, G),
+            (U, L, G),
+            (L, S, G),
+            (S, U, G),
+            (L, G, G),
+            (G, U, G),
+        ],
+    )
+    def test_table(self, left, right, result):
+        assert infer_product_structure(left, right) is result
+
+    def test_paper_example_ut_times_l(self):
+        # X := U^T L: U^T has lower-triangular effective structure, so the
+        # product of two lower-triangular operands is lower-triangular.
+        assert infer_product_structure(U.transposed, L) is L
+
+
+class TestPropertyInference:
+    def test_orthogonal_closed_under_product(self):
+        assert (
+            infer_property(Property.ORTHOGONAL, Property.ORTHOGONAL, True)
+            is Property.ORTHOGONAL
+        )
+
+    def test_invertible_times_invertible(self):
+        assert (
+            infer_property(Property.NON_SINGULAR, Property.NON_SINGULAR, True)
+            is Property.NON_SINGULAR
+        )
+
+    def test_spd_not_closed_under_product(self):
+        # The product of two SPD matrices is invertible but not SPD.
+        assert infer_property(Property.SPD, Property.SPD, True) is (
+            Property.NON_SINGULAR
+        )
+
+    def test_singular_dominates(self):
+        assert (
+            infer_property(Property.SINGULAR, Property.NON_SINGULAR, True)
+            is Property.SINGULAR
+        )
+        assert (
+            infer_property(Property.ORTHOGONAL, Property.SINGULAR, True)
+            is Property.SINGULAR
+        )
+
+    def test_rectangular_result_is_singular(self):
+        assert (
+            infer_property(Property.NON_SINGULAR, Property.NON_SINGULAR, False)
+            is Property.SINGULAR
+        )
+
+    def test_orthogonal_times_invertible_is_just_invertible(self):
+        assert (
+            infer_property(Property.ORTHOGONAL, Property.NON_SINGULAR, True)
+            is Property.NON_SINGULAR
+        )
+
+
+class TestCombinedInference:
+    def test_qtg_is_general(self):
+        # Paper example: Q^T G is inferred general even if Q comes from a QR
+        # factorization of G (algebraic relations are ignored).
+        structure, prop = infer_association_features(
+            G, Property.ORTHOGONAL, G, Property.SINGULAR, result_square=False
+        )
+        assert structure is G
+        assert prop is Property.SINGULAR
+
+    def test_triangular_solve_keeps_triangularity(self):
+        # L1^-1 L2 with matching triangularity: result lower-triangular.
+        structure, prop = infer_association_features(
+            L, Property.NON_SINGULAR, L, Property.NON_SINGULAR, result_square=True
+        )
+        assert structure is L
+        assert prop is Property.NON_SINGULAR
+
+    def test_never_infers_spd_on_non_symmetric(self):
+        for left in (G, S, L, U):
+            for right in (G, S, L, U):
+                structure, prop = infer_association_features(
+                    left, Property.SPD, right, Property.SPD, result_square=True
+                )
+                if structure is not S:
+                    assert prop is not Property.SPD

@@ -1,0 +1,147 @@
+"""Tests for the kernel cost functions: every entry of Table I."""
+
+import pytest
+
+from repro.kernels.cost import CostType
+from repro.kernels.spec import KERNELS, PRODUCT_KERNELS, SOLVE_KERNELS, get_kernel
+
+M, K, N = 8, 8, 5  # square structured operand 8x8, general dimension 5
+
+
+def cost(name, side="left", cheap=True, m=M, k=K, n=N):
+    return KERNELS[name].cost(side=side, cheap=cheap).evaluate(m, k, n)
+
+
+class TestProductCosts:
+    def test_gemm(self):
+        assert cost("GEMM", m=3, k=4, n=5) == 2 * 3 * 4 * 5
+
+    def test_symm_sides(self):
+        assert cost("SYMM", side="left") == 2 * M * M * N
+        assert cost("SYMM", side="right", m=N, n=M) == 2 * N * M * M
+
+    def test_trmm_sides(self):
+        assert cost("TRMM", side="left") == M * M * N
+        assert cost("TRMM", side="right", m=N, n=M) == N * M * M
+
+    def test_sysymm(self):
+        assert cost("SYSYMM") == 2 * M**3
+
+    def test_trsymm(self):
+        assert cost("TRSYMM") == M**3
+
+    def test_trtrmm_cases(self):
+        assert cost("TRTRMM", cheap=True) == pytest.approx(M**3 / 3)
+        assert cost("TRTRMM", cheap=False) == pytest.approx(2 * M**3 / 3)
+
+
+class TestSolveCosts:
+    def test_gegesv_sides(self):
+        assert cost("GEGESV", side="left") == pytest.approx(
+            2 / 3 * M**3 + 2 * M * M * N
+        )
+        assert cost("GEGESV", side="right", m=N, n=M) == pytest.approx(
+            2 / 3 * M**3 + 2 * M * M * N
+        )
+
+    def test_gesysv(self):
+        assert cost("GESYSV") == pytest.approx(8 / 3 * M**3)
+
+    def test_getrsv_cases(self):
+        assert cost("GETRSV", cheap=True) == 2 * M**3
+        assert cost("GETRSV", cheap=False) == pytest.approx(8 / 3 * M**3)
+
+    def test_sygesv_sides(self):
+        assert cost("SYGESV", side="left") == pytest.approx(
+            M**3 / 3 + 2 * M * M * N
+        )
+        assert cost("SYGESV", side="right", m=N, n=M) == pytest.approx(
+            M**3 / 3 + 2 * M * M * N
+        )
+
+    def test_sysysv_and_sytrsv(self):
+        assert cost("SYSYSV") == pytest.approx(7 / 3 * M**3)
+        assert cost("SYTRSV") == pytest.approx(7 / 3 * M**3)
+
+    def test_pogesv_matches_sygesv(self):
+        assert cost("POGESV", side="left") == cost("SYGESV", side="left")
+
+    def test_posysv(self):
+        assert cost("POSYSV") == pytest.approx(7 / 3 * M**3)
+
+    def test_potrsv_cases(self):
+        assert cost("POTRSV", cheap=True) == pytest.approx(5 / 3 * M**3)
+        assert cost("POTRSV", cheap=False) == pytest.approx(7 / 3 * M**3)
+
+    def test_trsm_sides(self):
+        assert cost("TRSM", side="left") == M * M * N
+        assert cost("TRSM", side="right", m=N, n=M) == N * M * M
+
+    def test_trsysv(self):
+        assert cost("TRSYSV") == M**3
+
+    def test_trtrsv_cases(self):
+        assert cost("TRTRSV", cheap=True) == pytest.approx(M**3 / 3)
+        assert cost("TRTRSV", cheap=False) == M**3
+
+
+class TestUnaryCosts:
+    def test_inversion_costs(self):
+        assert cost("GEINV") == 2 * M**3
+        assert cost("SYINV") == 2 * M**3
+        assert cost("POINV") == M**3
+        assert cost("TRINV") == pytest.approx(M**3 / 3)
+
+    def test_zero_flop_kernels(self):
+        assert cost("TRANSPOSE") == 0.0
+        assert cost("COPY") == 0.0
+
+
+class TestCostTypes:
+    """Section V: only non-triangular solves with general RHS are Type II."""
+
+    TYPE_II_LEFT = {"GEGESV", "SYGESV", "POGESV"}
+
+    def test_type_ii_kernels(self):
+        for name in self.TYPE_II_LEFT:
+            assert KERNELS[name].cost(side="left").cost_type is CostType.TYPE_IIA
+            assert KERNELS[name].cost(side="right").cost_type is CostType.TYPE_IIB
+
+    def test_all_other_binary_kernels_are_type_i(self):
+        for kernel in (*PRODUCT_KERNELS, *SOLVE_KERNELS):
+            if kernel.name in self.TYPE_II_LEFT:
+                continue
+            for side in ("left", "right"):
+                for cheap in (True, False):
+                    assert kernel.cost(side=side, cheap=cheap).cost_type is (
+                        CostType.TYPE_I
+                    ), kernel.name
+
+    def test_cost_degree_is_three(self):
+        for kernel in (*PRODUCT_KERNELS, *SOLVE_KERNELS):
+            assert kernel.cost().degree == 3
+
+
+class TestSpecLookups:
+    def test_get_kernel(self):
+        assert get_kernel("GEMM").name == "GEMM"
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("NOPE")
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            KERNELS["GEMM"].cost(side="middle")
+
+    def test_blas_flags(self):
+        blas = {k.name for k in KERNELS.values() if k.in_blas}
+        assert blas == {"GEMM", "SYMM", "TRMM", "TRSM"}
+
+    def test_monotonicity_in_each_argument(self):
+        # Theory requirement: kernel costs monotonically increasing per arg.
+        for kernel in (*PRODUCT_KERNELS, *SOLVE_KERNELS):
+            for side in ("left", "right"):
+                fn = kernel.cost(side=side)
+                base = fn.evaluate(6, 6, 6)
+                assert fn.evaluate(7, 6, 6) >= base
+                assert fn.evaluate(6, 7, 6) >= base
+                assert fn.evaluate(6, 6, 7) >= base

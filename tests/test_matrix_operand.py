@@ -1,0 +1,109 @@
+"""Tests for symbolic matrices, operands, and chain-building operators."""
+
+import pytest
+
+from repro.errors import InvalidFeaturesError
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand, UnaryOp
+
+from conftest import make_general, make_lower, make_symmetric
+
+
+class TestMatrix:
+    def test_defaults(self):
+        m = Matrix("A")
+        assert m.structure is Structure.GENERAL
+        assert m.prop is Property.SINGULAR
+        assert not m.is_square
+        assert not m.is_invertible
+
+    def test_invalid_name(self):
+        with pytest.raises(InvalidFeaturesError):
+            Matrix("1A")
+        with pytest.raises(InvalidFeaturesError):
+            Matrix("")
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(InvalidFeaturesError):
+            Matrix("A", Structure.GENERAL, Property.SPD)
+
+    def test_describe(self):
+        m = make_lower("L")
+        assert m.describe() == "L<LowerTri, NonSingular>"
+
+    def test_frozen(self):
+        m = Matrix("A")
+        with pytest.raises(AttributeError):
+            m.name = "B"  # type: ignore[misc]
+
+
+class TestOperandConstruction:
+    def test_transpose_accessor(self):
+        op = make_general().T
+        assert op.op is UnaryOp.TRANSPOSE
+        assert op.transposed and not op.inverted
+
+    def test_inverse_accessor(self):
+        op = make_general(invertible=True).inv
+        assert op.op is UnaryOp.INVERSE
+        assert op.inverted and not op.transposed
+
+    def test_inverse_transpose_accessor(self):
+        op = make_general(invertible=True).invT
+        assert op.inverted and op.transposed
+
+    def test_cannot_invert_singular(self):
+        with pytest.raises(InvalidFeaturesError):
+            make_general(invertible=False).inv
+        with pytest.raises(InvalidFeaturesError):
+            make_general(invertible=False).invT
+
+    def test_unary_op_from_flags_roundtrip(self):
+        for op in UnaryOp:
+            assert UnaryOp.from_flags(op.inverted, op.transposed) is op
+
+
+class TestOperandStructure:
+    def test_transposed_triangular_flips(self):
+        low = make_lower()
+        assert low.T.structure is Structure.UPPER_TRIANGULAR
+        assert low.as_operand().structure is Structure.LOWER_TRIANGULAR
+
+    def test_transposed_symmetric_unchanged(self):
+        sym = make_symmetric()
+        assert sym.T.structure is Structure.SYMMETRIC
+
+    def test_inversion_forces_square(self):
+        g = make_general(invertible=True)
+        assert g.inv.is_square
+        plain = make_general(invertible=False)
+        assert not plain.as_operand().is_square
+
+
+class TestChainBuilding:
+    def test_matrix_times_matrix(self):
+        chain = make_general("A") * make_general("B")
+        assert isinstance(chain, Chain)
+        assert chain.n == 2
+        assert str(chain) == "A B"
+
+    def test_mixed_operand_chain(self):
+        a, l = make_general("A"), make_lower("L")
+        chain = a * l.inv * a.T
+        assert chain.n == 3
+        assert str(chain) == "A L^-1 A^T"
+
+    def test_chain_times_chain(self):
+        left = make_general("A") * make_general("B")
+        right = make_general("C") * make_general("D")
+        combined = left * right
+        assert combined.n == 4
+
+    def test_operand_str(self):
+        g = make_general("G", invertible=True)
+        assert str(g.inv) == "G^-1"
+        assert str(g.T) == "G^T"
+        assert str(g.invT) == "G^-T"
+        assert str(g.as_operand()) == "G"

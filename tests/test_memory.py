@@ -1,0 +1,142 @@
+"""Tests for the variant buffer planner."""
+
+import numpy as np
+import pytest
+
+from repro.ir.chain import Chain
+from repro.compiler.memory import (
+    BYTES_PER_ELEMENT,
+    last_uses,
+    peak_workspace_bytes,
+    plan_memory,
+    step_result_dims,
+)
+from repro.compiler.parenthesization import (
+    fanning_out_tree,
+    leaf,
+    left_to_right_tree,
+)
+from repro.compiler.selection import all_variants
+from repro.compiler.variant import build_variant
+
+from conftest import general_chain, make_general, make_lower
+
+
+class TestLifetimes:
+    def test_left_to_right_chain(self):
+        chain = general_chain(4)
+        variant = build_variant(chain, left_to_right_tree(4))
+        # X0 is consumed by step 1, X1 by step 2, X2 survives to the end.
+        assert last_uses(variant) == [1, 2, 3]
+
+    def test_fanning_out_keeps_two_partials_live(self):
+        chain = general_chain(5)
+        variant = build_variant(chain, fanning_out_tree(5, 2))
+        deaths = last_uses(variant)
+        # The final association consumes both the prefix and suffix results.
+        final = len(variant.steps) - 1
+        consumed_at_final = [
+            index
+            for index, death in enumerate(deaths[:final])
+            if death == final
+        ]
+        assert len(consumed_at_final) == 2
+
+    def test_single_matrix_variant_has_no_plan_entries(self):
+        chain = Chain((make_general("A").as_operand(),))
+        variant = build_variant(chain, leaf(0))
+        plan = plan_memory(variant, (3, 4))
+        assert plan.assignments == ()
+        assert plan.peak_bytes == 0
+        assert plan.reuse_savings == 0.0
+
+
+class TestDims:
+    def test_result_dims_follow_triplets(self):
+        chain = general_chain(3)
+        variant = build_variant(chain, left_to_right_tree(3))
+        dims = step_result_dims(variant, (2, 3, 4, 5))
+        assert dims == [(2, 4), (2, 5)]
+
+    def test_pending_transpose_swaps_stored_dims(self):
+        chain = Chain((make_lower("L").as_operand(), make_general("G").T))
+        variant = build_variant(chain, left_to_right_tree(2))
+        assert variant.steps[0].result_state.transposed
+        dims = step_result_dims(variant, (4, 4, 7))
+        # Logical result is 4x7; the stored base (pre-transpose) is 7x4.
+        assert dims == [(7, 4)]
+
+
+class TestPlanning:
+    def test_ping_pong_reuse_on_uniform_chain(self):
+        chain = general_chain(5)
+        variant = build_variant(chain, left_to_right_tree(5))
+        m = 10
+        plan = plan_memory(variant, (m,) * 6)
+        # Four intermediates, but only two live at any time: two buffers.
+        assert plan.num_buffers == 2
+        assert plan.naive_bytes == 4 * m * m * BYTES_PER_ELEMENT
+        assert plan.peak_bytes == 2 * m * m * BYTES_PER_ELEMENT
+        assert plan.reuse_savings == pytest.approx(0.5)
+
+    def test_best_fit_prefers_smallest_adequate_buffer(self):
+        # Shrinking chain: early buffers are big and must be reusable for
+        # later, smaller results.
+        chain = general_chain(4)
+        variant = build_variant(chain, left_to_right_tree(4))
+        plan = plan_memory(variant, (100, 50, 20, 10, 5))
+        assert plan.num_buffers == 2
+        # Peak is the first two intermediates both live.
+        expected_peak = (100 * 20 + 100 * 10) * BYTES_PER_ELEMENT
+        assert plan.peak_bytes == expected_peak
+
+    def test_peak_never_exceeds_naive(self):
+        rng = np.random.default_rng(0)
+        from repro.experiments.sampling import sample_instances, sample_shapes
+
+        for chain in sample_shapes(6, 5, rng, rectangular_probability=0.5):
+            for variant in all_variants(chain)[:10]:
+                for q in sample_instances(chain, 3, rng, low=2, high=50):
+                    plan = plan_memory(variant, tuple(q))
+                    assert plan.peak_bytes <= plan.naive_bytes
+                    assert sum(plan.buffer_sizes) <= plan.naive_bytes
+                    assert 0.0 <= plan.reuse_savings <= 1.0
+
+    def test_no_step_reuses_a_live_operand_buffer(self):
+        rng = np.random.default_rng(1)
+        from repro.experiments.sampling import sample_instances, sample_shapes
+
+        chain = sample_shapes(6, 1, rng, rectangular_probability=0.5)[0]
+        for variant in all_variants(chain)[:20]:
+            q = tuple(sample_instances(chain, 1, rng, low=3, high=40)[0])
+            plan = plan_memory(variant, q)
+            by_step = {a.step_index: a for a in plan.assignments}
+            for step in variant.steps:
+                for ref in (step.left_ref, step.right_ref):
+                    kind, index = ref
+                    if kind != "step":
+                        continue
+                    operand = by_step[index]
+                    result = by_step[step.index]
+                    # An operand still being read may not share the result's
+                    # buffer.
+                    assert operand.buffer_id != result.buffer_id
+
+    def test_variants_differ_in_workspace(self):
+        # Parenthesizations of the same chain can need very different
+        # workspace: compare left-to-right against the outer-product-first
+        # order on the paper's (1, s, 1, s) family.
+        chain = general_chain(3)
+        s = 100
+        q = (1, s, 1, s)
+        workspaces = {
+            str(v): peak_workspace_bytes(v, q) for v in all_variants(chain)
+        }
+        assert workspaces["((G1 G2) G3)"] < workspaces["(G1 (G2 G3))"]
+
+    def test_describe(self):
+        chain = general_chain(3)
+        variant = build_variant(chain, left_to_right_tree(3))
+        text = plan_memory(variant, (2, 3, 4, 5)).describe()
+        assert "buffers" in text
+        assert "X0 -> buffer 0" in text

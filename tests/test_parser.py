@@ -1,0 +1,126 @@
+"""Tests for the Fig. 2 input-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.features import Property, Structure
+from repro.ir.operand import UnaryOp
+from repro.ir.parser import parse_chain, parse_program
+
+PROGRAM = """
+Matrix G1 <General, Singular>;
+Matrix L  <LowerTri, NonSingular>;
+Matrix U  <UpperTri, Singular>;
+Matrix G2 <General, Singular>;
+R := G1 * L^-1 * U * G2^T;
+"""
+
+
+class TestPrograms:
+    def test_parse_paper_like_program(self):
+        program = parse_program(PROGRAM)
+        assert program.result_name == "R"
+        chain = program.chain
+        assert chain.n == 4
+        assert chain[0].matrix.structure is Structure.GENERAL
+        assert chain[1].op is UnaryOp.INVERSE
+        assert chain[1].matrix.structure is Structure.LOWER_TRIANGULAR
+        assert chain[2].matrix.structure is Structure.UPPER_TRIANGULAR
+        assert chain[3].op is UnaryOp.TRANSPOSE
+
+    def test_parse_chain_shortcut(self):
+        chain = parse_chain("Matrix A <General, Singular>; R := A;")
+        assert chain.n == 1
+
+    def test_comments_and_whitespace(self):
+        source = """
+        # definitions
+        Matrix A <General, Singular>;   # trailing comment
+        R := A;  # the chain
+        """
+        assert parse_chain(source).n == 1
+
+    def test_structure_aliases(self):
+        chain = parse_chain(
+            "Matrix A <LowerTriangular, Invertible>; R := A;"
+        )
+        assert chain[0].matrix.structure is Structure.LOWER_TRIANGULAR
+        assert chain[0].matrix.prop is Property.NON_SINGULAR
+
+    def test_spd_and_orthogonal(self):
+        chain = parse_chain(
+            "Matrix P <Symmetric, SPD>; Matrix Q <General, Orthogonal>;"
+            " R := P^-1 * Q^T;"
+        )
+        assert chain[0].matrix.prop is Property.SPD
+        assert chain[1].matrix.prop is Property.ORTHOGONAL
+
+    def test_inverse_transpose_suffix(self):
+        chain = parse_chain("Matrix A <General, Invertible>; R := A^-T;")
+        assert chain[0].op is UnaryOp.INVERSE_TRANSPOSE
+
+    def test_functional_operators(self):
+        chain = parse_chain(
+            "Matrix A <General, Invertible>; R := inv(A) * trans(A) * invtrans(A);"
+        )
+        assert chain[0].op is UnaryOp.INVERSE
+        assert chain[1].op is UnaryOp.TRANSPOSE
+        assert chain[2].op is UnaryOp.INVERSE_TRANSPOSE
+
+    def test_nested_functional_operators_compose(self):
+        chain = parse_chain("Matrix A <General, Invertible>; R := inv(trans(A));")
+        assert chain[0].op is UnaryOp.INVERSE_TRANSPOSE
+        # inv(inv(A)) cancels out.
+        chain = parse_chain("Matrix A <General, Invertible>; R := inv(inv(A));")
+        assert chain[0].op is UnaryOp.NONE
+
+
+class TestErrors:
+    def test_undefined_matrix(self):
+        with pytest.raises(ParseError, match="never defined"):
+            parse_chain("Matrix A <General, Singular>; R := B;")
+
+    def test_duplicate_definition(self):
+        with pytest.raises(ParseError, match="defined twice"):
+            parse_chain(
+                "Matrix A <General, Singular>; Matrix A <General, Singular>;"
+                " R := A;"
+            )
+
+    def test_unknown_structure(self):
+        with pytest.raises(ParseError, match="unknown structure"):
+            parse_chain("Matrix A <Banded, Singular>; R := A;")
+
+    def test_unknown_property(self):
+        with pytest.raises(ParseError, match="unknown property"):
+            parse_chain("Matrix A <General, Happy>; R := A;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_chain("Matrix A <General, Singular> R := A;")
+
+    def test_missing_definitions(self):
+        with pytest.raises(ParseError, match="Matrix"):
+            parse_chain("R := A;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_chain("Matrix A <General, Singular>; R := A; extra")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_chain("Matrix A <General, Singular>; R := A @ A;")
+
+    def test_error_carries_location(self):
+        try:
+            parse_chain("Matrix A <General,\n Happy>; R := A;")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_cannot_invert_singular_in_program(self):
+        from repro.errors import InvalidFeaturesError
+
+        with pytest.raises(InvalidFeaturesError):
+            parse_chain("Matrix A <General, Singular>; R := A^-1;")

@@ -1,0 +1,70 @@
+"""Tests for the simplification rewrites of Section III-A."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.ir.matrix import Matrix
+from repro.ir.operand import Operand, UnaryOp
+from repro.ir.rewrites import simplify_chain, simplify_operand
+
+from conftest import make_general, make_lower, make_orthogonal, make_symmetric
+
+
+class TestOperandRewrites:
+    def test_transpose_on_symmetric_removed(self):
+        s = make_symmetric()
+        assert simplify_operand(s.T).op is UnaryOp.NONE
+
+    def test_inverse_transpose_on_symmetric_keeps_inverse(self):
+        s = make_symmetric()
+        assert simplify_operand(s.invT).op is UnaryOp.INVERSE
+
+    def test_inverse_on_orthogonal_becomes_transpose(self):
+        q = make_orthogonal()
+        assert simplify_operand(q.inv).op is UnaryOp.TRANSPOSE
+
+    def test_inverse_transpose_on_orthogonal_vanishes(self):
+        q = make_orthogonal()
+        assert simplify_operand(q.invT).op is UnaryOp.NONE
+
+    def test_symmetric_orthogonal_fully_simplifies(self):
+        # A symmetric orthogonal matrix is involutory: all ops vanish.
+        m = Matrix("H", Structure.SYMMETRIC, Property.ORTHOGONAL)
+        for op in (m.T, m.inv, m.invT):
+            assert simplify_operand(op).op is UnaryOp.NONE
+
+    def test_plain_operands_unchanged(self):
+        g = make_general(invertible=True)
+        assert simplify_operand(g.inv).op is UnaryOp.INVERSE
+        assert simplify_operand(g.T).op is UnaryOp.TRANSPOSE
+
+
+class TestChainRewrites:
+    def test_identity_matrices_removed(self):
+        identity = Matrix("I", Structure.LOWER_TRIANGULAR, Property.ORTHOGONAL)
+        g = make_general()
+        chain = Chain((g.as_operand(), identity.as_operand(), g.T))
+        simplified = simplify_chain(chain)
+        assert simplified.n == 2
+        assert [op.matrix.name for op in simplified] == ["G", "G"]
+
+    def test_all_identity_chain_rejected(self):
+        identity = Matrix("I", Structure.UPPER_TRIANGULAR, Property.ORTHOGONAL)
+        with pytest.raises(ShapeError, match="identity"):
+            simplify_chain(Chain((identity.as_operand(),)))
+
+    def test_operator_rewrites_applied_throughout(self):
+        s, q = make_symmetric(), make_orthogonal()
+        chain = Chain((s.T, q.inv, make_lower().as_operand()))
+        simplified = simplify_chain(chain)
+        assert simplified[0].op is UnaryOp.NONE
+        assert simplified[1].op is UnaryOp.TRANSPOSE
+
+    def test_simplification_is_idempotent(self):
+        s, q = make_symmetric(), make_orthogonal()
+        chain = Chain((s.T, q.inv))
+        once = simplify_chain(chain)
+        twice = simplify_chain(once)
+        assert once == twice

@@ -1,0 +1,73 @@
+"""Unit tests for the scaling and distribution-shift study harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import run_shift_study
+from repro.experiments.scaling import (
+    ScalingRow,
+    format_scaling_table,
+    run_scaling_study,
+)
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scaling_study(
+            n_values=(3, 4, 5), shapes_per_n=2, train_instances=100
+        )
+
+    def test_row_per_n(self, rows):
+        assert [row.n for row in rows] == [3, 4, 5]
+
+    def test_catalan_column(self, rows):
+        assert [row.parenthesizations for row in rows] == [2, 5, 14]
+
+    def test_essential_bounded_by_fanning(self, rows):
+        for row in rows:
+            assert 1 <= row.avg_essential <= row.fanning_out
+
+    def test_code_size_ordering(self, rows):
+        for row in rows:
+            assert 0 < row.essential_cpp_lines <= row.full_cpp_lines
+
+    def test_compile_time_positive(self, rows):
+        assert all(row.compile_seconds > 0 for row in rows)
+
+    def test_formatting(self, rows):
+        table = format_scaling_table(rows)
+        assert table.count("\n") == len(rows) - 1
+        assert "C++ lines" in table
+
+
+class TestShiftStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_shift_study(
+            n=5,
+            num_shapes=3,
+            train_instances=300,
+            val_instances=60,
+            validation_ranges=(
+                ("in", 2, 100),
+                ("out", 500, 2000),
+            ),
+        )
+
+    def test_one_result_per_range(self, results):
+        assert [r.label for r in results] == ["in", "out"]
+
+    def test_sets_present(self, results):
+        for result in results:
+            assert set(result.ratios) == {"Es", "Es1"}
+            for values in result.ratios.values():
+                assert (values >= 1.0 - 1e-12).all()
+
+    def test_theory_bound_out_of_distribution(self, results):
+        for result in results:
+            assert result.ratios["Es"].max() <= 16.0
+
+    def test_summary_format(self, results):
+        text = results[0].summary()
+        assert "mean" in text and "max" in text and "sizes" in text

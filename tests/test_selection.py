@@ -1,0 +1,163 @@
+"""Tests for the variant-selection theory (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.chain import Chain
+from repro.compiler.selection import (
+    CostMatrix,
+    LEMMA2_FACTOR,
+    all_variants,
+    essential_set,
+    fanning_out_variants,
+    left_to_right_variant,
+    optimal_cost,
+    penalty,
+)
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import general_chain, make_general, make_lower, make_symmetric
+
+
+class TestAllVariants:
+    def test_one_variant_per_parenthesization(self):
+        chain = general_chain(5)
+        variants = all_variants(chain)
+        assert len(variants) == 14
+        assert len({v.signature() for v in variants}) == 14
+
+    def test_optimal_cost_is_min(self):
+        chain = general_chain(4)
+        q = (3, 30, 2, 40, 5)
+        costs = [v.flop_cost(q) for v in all_variants(chain)]
+        assert optimal_cost(chain, q) == min(costs)
+
+
+class TestFanningOut:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 2), (4, 5), (5, 6), (7, 8)])
+    def test_count(self, n, expected):
+        assert len(fanning_out_variants(general_chain(n))) == expected
+
+    def test_left_to_right_is_e0(self):
+        chain = general_chain(5)
+        fanning = fanning_out_variants(chain)
+        assert fanning[0].signature() == left_to_right_variant(chain).signature()
+
+    def test_unbounded_ratio_of_single_parenthesization(self):
+        # G1 G2 G3 on q = (1, s, 1, s): the ratio of the two
+        # parenthesizations grows without bound with s (paper Section V).
+        chain = general_chain(3)
+        variants = {v.name: v for v in all_variants(chain)}
+        ratios = []
+        for s in (10, 100, 1000):
+            q = (1, s, 1, s)
+            costs = sorted(v.flop_cost(q) for v in variants.values())
+            ratios.append(costs[-1] / costs[0])
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 400
+
+
+class TestLemma2Bound:
+    """min over fanning-out variants is within 16x of the optimum."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bound_on_random_shapes(self, seed):
+        rng = np.random.default_rng(seed)
+        for chain in sample_shapes(6, 4, rng, rectangular_probability=0.4):
+            fanning = list(fanning_out_variants(chain).values())
+            for q in sample_instances(chain, 25, rng, low=2, high=500):
+                opt = optimal_cost(chain, tuple(q))
+                best_fanning = min(v.flop_cost(tuple(q)) for v in fanning)
+                assert best_fanning <= LEMMA2_FACTOR * opt
+
+    def test_standard_chain_factor_two(self):
+        # For standard chains alpha-hat = 1, so T(E_m) < 2 T_opt.
+        rng = np.random.default_rng(3)
+        chain = general_chain(6)
+        fanning = fanning_out_variants(chain)
+        for q in sample_instances(chain, 50, rng, low=1, high=1000):
+            m = int(np.argmin(q))
+            opt = optimal_cost(chain, tuple(q))
+            assert fanning[m].flop_cost(tuple(q)) < 2 * opt
+
+
+class TestPenalty:
+    def test_empty_set_infinite(self):
+        chain = general_chain(3)
+        assert penalty([], chain, (2, 3, 4, 5)) == float("inf")
+
+    def test_full_set_zero(self):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        assert penalty(variants, chain, (9, 2, 8, 3, 7)) == pytest.approx(0.0)
+
+    def test_cost_matrix_consistency(self):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        rng = np.random.default_rng(0)
+        instances = sample_instances(chain, 30, rng, low=2, high=100)
+        matrix = CostMatrix(variants, instances)
+        for i in (0, 7, 29):
+            q = tuple(instances[i])
+            sub = [0, 2, 4]
+            expected = penalty([variants[j] for j in sub], chain, q)
+            assert matrix.penalties(sub)[i] == pytest.approx(expected)
+
+    def test_ratios_of_full_set_are_one(self):
+        chain = general_chain(5)
+        variants = all_variants(chain)
+        rng = np.random.default_rng(1)
+        instances = sample_instances(chain, 20, rng)
+        matrix = CostMatrix(variants, instances)
+        np.testing.assert_allclose(matrix.ratios(range(len(variants))), 1.0)
+
+
+class TestEssentialSet:
+    def _make(self, chain, seed=0, count=200):
+        rng = np.random.default_rng(seed)
+        instances = sample_instances(chain, count, rng, low=2, high=1000)
+        return essential_set(chain, training_instances=instances)
+
+    def test_size_bounded_by_classes(self):
+        # S1 G2 S3 L4 G5: 3 equivalence classes -> at most 3 variants.
+        chain = Chain(
+            (
+                make_symmetric("S1").as_operand(),
+                make_general("G2").as_operand(),
+                make_symmetric("S3").as_operand(),
+                make_lower("L4").as_operand(),
+                make_general("G5").as_operand(),
+            )
+        )
+        selected = self._make(chain)
+        assert 1 <= len(selected) <= len(chain.equivalence_classes())
+
+    def test_standard_chain_gets_full_fanning_set(self):
+        chain = general_chain(5)
+        selected = self._make(chain)
+        # All classes are singletons: n + 1 = 6 candidate variants, and the
+        # distinct trees among them must all be picked.
+        assert len(selected) == 6
+
+    def test_penalty_bounded_on_validation(self):
+        rng = np.random.default_rng(42)
+        for chain in sample_shapes(5, 5, rng, rectangular_probability=0.4):
+            selected = self._make(chain, seed=7)
+            val = sample_instances(chain, 50, rng, low=2, high=1000)
+            matrix = CostMatrix(all_variants(chain), val)
+            sig_to_idx = {v.signature(): i for i, v in enumerate(matrix.variants)}
+            indices = [sig_to_idx[v.signature()] for v in selected]
+            assert matrix.max_penalty(indices) <= LEMMA2_FACTOR - 1.0
+
+    def test_members_are_fanning_out_variants(self):
+        chain = general_chain(6)
+        selected = self._make(chain)
+        fanning_sigs = {
+            v.signature() for v in fanning_out_variants(chain).values()
+        }
+        for variant in selected:
+            assert variant.signature() in fanning_sigs
+
+    def test_requires_instances_or_matrix(self):
+        with pytest.raises(ValueError):
+            essential_set(general_chain(4))

@@ -1,0 +1,229 @@
+"""Tests for operand states and the four-step association procedure (§IV)."""
+
+import pytest
+
+from repro.ir.chain import Chain
+from repro.ir.features import Property, Structure
+from repro.compiler.states import (
+    OperandState,
+    associate,
+    initial_states,
+)
+
+from conftest import (
+    make_general,
+    make_lower,
+    make_orthogonal,
+    make_symmetric,
+    make_upper,
+)
+
+
+def same_class_all_equal(i, j):
+    return True
+
+
+def same_class_distinct(i, j):
+    return i == j
+
+
+def _states(chain: Chain):
+    return initial_states(chain)
+
+
+class TestInitialStates:
+    def test_plain_general(self):
+        chain = Chain((make_general("G").as_operand(),))
+        (state,) = _states(chain)
+        assert state.structure is Structure.GENERAL
+        assert not state.inverted and not state.transposed
+        assert (state.rows, state.cols) == (0, 1)
+        assert state.source == ("matrix", 0)
+
+    def test_transposed_lower_becomes_upper(self):
+        chain = Chain((make_lower("L").T,))
+        (state,) = _states(chain)
+        assert state.structure is Structure.UPPER_TRIANGULAR
+        assert state.transposed
+
+    def test_inverted_orthogonal_simplifies_to_transpose(self):
+        chain = Chain((make_orthogonal("Q").inv,))
+        (state,) = _states(chain)
+        assert not state.inverted
+        assert state.transposed
+
+    def test_transposed_symmetric_simplifies(self):
+        chain = Chain((make_symmetric("S").T,))
+        (state,) = _states(chain)
+        assert not state.transposed
+
+    def test_stored_structure_undoes_transpose(self):
+        chain = Chain((make_lower("L").T,))
+        (state,) = _states(chain)
+        assert state.stored_structure is Structure.LOWER_TRIANGULAR
+
+
+class TestInversionPropagation:
+    def test_both_inverted_rewrites_to_product(self):
+        chain = Chain(
+            (make_general("A", invertible=True).inv,
+             make_general("B", invertible=True).inv)
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        # M1^-1 M2^-1 = (M2 M1)^-1: a GEMM with a pending inversion.
+        assert result.kernel.name == "GEMM"
+        assert result.pending_inverse
+        assert result.result.inverted
+        # Operands swapped: the kernel consumes (M2, M1).
+        assert result.left.source == ("matrix", 1)
+        assert result.right.source == ("matrix", 0)
+
+    def test_general_inverse_next_to_triangular_rewrites(self):
+        # L G^-1 = (G L^-1)^-1: TRSM with the triangular coefficient.
+        chain = Chain(
+            (make_lower("L").as_operand(),
+             make_general("G", invertible=True).inv)
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "TRSM"
+        assert result.side == "right"
+        assert result.pending_inverse
+
+    def test_general_inverse_next_to_orthogonal_becomes_gemm(self):
+        # Q G^-1 = (G Q^-1)^-1 = (G Q^T)^-1: GEMM with pending inversion.
+        chain = Chain(
+            (make_orthogonal("Q").as_operand(),
+             make_general("G", invertible=True).inv)
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "GEMM"
+        assert result.pending_inverse
+        # The orthogonal operand is consumed transposed.
+        assert result.right.transposed
+
+    def test_no_rewrite_for_general_general(self):
+        chain = Chain(
+            (make_general("A", invertible=True).inv,
+             make_general("B").as_operand())
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "GEGESV"
+        assert result.side == "left"
+        assert not result.pending_inverse
+
+    def test_triangular_inverse_is_a_plain_trsm(self):
+        chain = Chain(
+            (make_lower("L").inv, make_general("G").as_operand())
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "TRSM"
+        assert result.side == "left"
+        assert not result.pending_inverse
+
+    def test_spd_inverse_uses_po_kernels(self):
+        chain = Chain(
+            (make_symmetric("P", spd=True).inv,
+             make_general("G").as_operand())
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "POGESV"
+
+    def test_symmetric_inverse_next_to_triangular_rewrites(self):
+        # S^-1 L = (L^-1 S)^-1: TRSYSV (triangular coefficient, sym rhs).
+        chain = Chain(
+            (make_symmetric("S").inv, make_lower("L").as_operand())
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "TRSYSV"
+        assert result.pending_inverse
+
+
+class TestTranspositionPropagation:
+    def test_trmm_with_transposed_general_rewrites(self):
+        # L G^T = (G L^T)^T: TRMM does not support a transposed general
+        # operand, so the association is rewritten with a pending transpose.
+        chain = Chain((make_lower("L").as_operand(), make_general("G").T))
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "TRMM"
+        assert result.pending_transpose
+        assert result.result.transposed
+        # After the rewrite the general operand is untransposed and the
+        # triangular coefficient picked up the transposition.
+        assert not result.left.transposed
+        assert result.right.transposed
+
+    def test_gemm_supports_all_transposition_patterns(self):
+        chain = Chain((make_general("A").T, make_general("B").T))
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "GEMM"
+        assert not result.pending_transpose
+
+    def test_trsm_with_transposed_rhs_rewrites(self):
+        chain = Chain((make_lower("L").inv, make_general("G").T))
+        left, right = _states(chain)
+        result = associate(left, right, same_class_distinct, 0)
+        assert result.kernel.name == "TRSM"
+        assert result.pending_transpose
+        # The coefficient moved to the right side.
+        assert result.side == "right"
+
+
+class TestInference:
+    def test_result_features_flow_through(self):
+        chain = Chain((make_lower("L1").as_operand(), make_lower("L2").as_operand()))
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 3)
+        assert result.result.structure is Structure.LOWER_TRIANGULAR
+        assert result.result.prop is Property.NON_SINGULAR
+        assert result.result.source == ("step", 3)
+        assert result.kernel.name == "TRTRMM"
+        assert result.cheap  # same triangularity
+
+    def test_mixed_triangularity_is_expensive(self):
+        chain = Chain((make_lower("L").as_operand(), make_upper("U").as_operand()))
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "TRTRMM"
+        assert not result.cheap
+        assert result.result.structure is Structure.GENERAL
+
+    def test_getrsv_cheap_case_depends_on_rhs_triangularity(self):
+        # The triangular right-hand sides must be *singular* here: a
+        # non-singular triangular neighbour triggers the step 1 rewrite
+        # (G^-1 L = (L^-1 G)^-1) and a TRSM instead.
+        lower_rhs = Chain(
+            (make_general("G", invertible=True).inv,
+             make_lower("L", invertible=False).as_operand())
+        )
+        left, right = _states(lower_rhs)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "GETRSV"
+        assert result.cheap  # coefficient left + lower rhs
+
+        upper_rhs = Chain(
+            (make_general("G", invertible=True).inv,
+             make_upper("U", invertible=False).as_operand())
+        )
+        left, right = _states(upper_rhs)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "GETRSV"
+        assert not result.cheap
+
+    def test_nonsingular_triangular_rhs_triggers_rewrite_instead(self):
+        chain = Chain(
+            (make_general("G", invertible=True).inv,
+             make_lower("L", invertible=True).as_operand())
+        )
+        left, right = _states(chain)
+        result = associate(left, right, same_class_all_equal, 0)
+        assert result.kernel.name == "TRSM"
+        assert result.pending_inverse

@@ -1,0 +1,86 @@
+"""Tests for the association-to-kernel lookup tables (Fig. 3)."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.ir.features import Property, Structure
+from repro.kernels.tables import (
+    lookup_inversion_kernel,
+    lookup_product_kernel,
+    lookup_solve_kernel,
+)
+
+G = Structure.GENERAL
+S = Structure.SYMMETRIC
+L = Structure.LOWER_TRIANGULAR
+U = Structure.UPPER_TRIANGULAR
+
+
+class TestProductTable:
+    @pytest.mark.parametrize(
+        "left,right,kernel",
+        [
+            (G, G, "GEMM"),
+            (S, G, "SYMM"),
+            (G, S, "SYMM"),
+            (L, G, "TRMM"),
+            (U, G, "TRMM"),
+            (G, L, "TRMM"),
+            (G, U, "TRMM"),
+            (S, S, "SYSYMM"),
+            (L, S, "TRSYMM"),
+            (S, U, "TRSYMM"),
+            (L, L, "TRTRMM"),
+            (L, U, "TRTRMM"),
+            (U, U, "TRTRMM"),
+        ],
+    )
+    def test_lookup(self, left, right, kernel):
+        assert lookup_product_kernel(left, right).name == kernel
+
+
+class TestSolveTable:
+    @pytest.mark.parametrize(
+        "coeff_structure,coeff_prop,rhs,kernel",
+        [
+            (G, Property.NON_SINGULAR, G, "GEGESV"),
+            (G, Property.NON_SINGULAR, S, "GESYSV"),
+            (G, Property.NON_SINGULAR, L, "GETRSV"),
+            (G, Property.NON_SINGULAR, U, "GETRSV"),
+            (S, Property.NON_SINGULAR, G, "SYGESV"),
+            (S, Property.NON_SINGULAR, S, "SYSYSV"),
+            (S, Property.NON_SINGULAR, L, "SYTRSV"),
+            (S, Property.SPD, G, "POGESV"),
+            (S, Property.SPD, S, "POSYSV"),
+            (S, Property.SPD, U, "POTRSV"),
+            (L, Property.NON_SINGULAR, G, "TRSM"),
+            (U, Property.NON_SINGULAR, G, "TRSM"),
+            (L, Property.NON_SINGULAR, S, "TRSYSV"),
+            (L, Property.NON_SINGULAR, U, "TRTRSV"),
+        ],
+    )
+    def test_lookup(self, coeff_structure, coeff_prop, rhs, kernel):
+        assert lookup_solve_kernel(coeff_structure, coeff_prop, rhs).name == kernel
+
+    def test_singular_coefficient_rejected(self):
+        with pytest.raises(CompilationError):
+            lookup_solve_kernel(G, Property.SINGULAR, G)
+
+    def test_spd_coefficient_cheaper_than_indefinite(self):
+        spd = lookup_solve_kernel(S, Property.SPD, G).cost(side="left")
+        indef = lookup_solve_kernel(S, Property.NON_SINGULAR, G).cost(side="left")
+        # Same asymptotic family (m^3/3 + 2m^2 n): POGESV uses Cholesky.
+        assert spd.evaluate(10, 10, 5) == indef.evaluate(10, 10, 5)
+
+
+class TestInversionTable:
+    def test_lookup(self):
+        assert lookup_inversion_kernel(G, Property.NON_SINGULAR).name == "GEINV"
+        assert lookup_inversion_kernel(S, Property.NON_SINGULAR).name == "SYINV"
+        assert lookup_inversion_kernel(S, Property.SPD).name == "POINV"
+        assert lookup_inversion_kernel(L, Property.NON_SINGULAR).name == "TRINV"
+        assert lookup_inversion_kernel(U, Property.NON_SINGULAR).name == "TRINV"
+
+    def test_singular_rejected(self):
+        with pytest.raises(CompilationError):
+            lookup_inversion_kernel(G, Property.SINGULAR)

@@ -1,0 +1,136 @@
+"""Tests for the variant IR verifier."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compiler.dp import dp_optimal_plan
+from repro.compiler.selection import all_variants
+from repro.compiler.validation import (
+    VariantVerificationError,
+    verify_or_report,
+    verify_variant,
+)
+from repro.compiler.variant import Variant
+from repro.experiments.sampling import (
+    EXTENDED_MATRIX_OPTIONS,
+    sample_instances,
+    sample_shapes,
+)
+
+from conftest import general_chain, random_option_chain
+
+
+class TestCleanVariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_builder_variants_verify(self, seed):
+        rng = np.random.default_rng(seed)
+        chain = random_option_chain(int(rng.integers(2, 7)), rng,
+                                    allow_transpose=True)
+        for variant in all_variants(chain):
+            verify_variant(variant)
+
+    def test_extended_option_variants_verify(self):
+        rng = np.random.default_rng(9)
+        for chain in sample_shapes(
+            5, 5, rng, rectangular_probability=0.4,
+            option_space=EXTENDED_MATRIX_OPTIONS,
+        ):
+            for variant in all_variants(chain):
+                assert verify_or_report(variant) == []
+
+    def test_dp_plans_verify(self):
+        rng = np.random.default_rng(3)
+        chain = random_option_chain(6, rng)
+        for q in sample_instances(chain, 5, rng, low=2, high=300):
+            verify_variant(dp_optimal_plan(chain, tuple(q)))
+
+    def test_deserialized_variants_verify(self):
+        from repro.codegen import serialize
+
+        rng = np.random.default_rng(4)
+        chain = random_option_chain(5, rng)
+        variants = all_variants(chain)
+        _, loaded = serialize.loads(serialize.dumps(chain, variants))
+        for variant in loaded:
+            verify_variant(variant)
+
+    def test_single_matrix_variant_verifies(self):
+        from repro.compiler.parenthesization import leaf
+        from repro.compiler.variant import build_variant
+        from repro.ir.chain import Chain
+        from conftest import make_general
+
+        chain = Chain((make_general("A", invertible=True).inv,))
+        verify_variant(build_variant(chain, leaf(0)))
+
+
+class TestCorruptedVariants:
+    def _variant(self):
+        chain = general_chain(4)
+        from repro.compiler.parenthesization import left_to_right_tree
+        from repro.compiler.variant import build_variant
+
+        return build_variant(chain, left_to_right_tree(4))
+
+    def test_forward_reference_detected(self):
+        variant = self._variant()
+        bad_step = dataclasses.replace(
+            variant.steps[0], left_ref=("step", 2)
+        )
+        corrupted = dataclasses.replace(
+            variant, steps=(bad_step, *variant.steps[1:])
+        )
+        report = verify_or_report(corrupted)
+        assert any("later/own result" in message for message in report)
+
+    def test_out_of_range_matrix_detected(self):
+        variant = self._variant()
+        bad_step = dataclasses.replace(
+            variant.steps[0], right_ref=("matrix", 99)
+        )
+        corrupted = dataclasses.replace(
+            variant, steps=(bad_step, *variant.steps[1:])
+        )
+        assert any(
+            "out of range" in message for message in verify_or_report(corrupted)
+        )
+
+    def test_bad_triplet_detected(self):
+        variant = self._variant()
+        bad_step = dataclasses.replace(variant.steps[1], triplet=(3, 2, 4))
+        corrupted = dataclasses.replace(
+            variant, steps=(variant.steps[0], bad_step, *variant.steps[2:])
+        )
+        assert any(
+            "malformed triplet" in message
+            for message in verify_or_report(corrupted)
+        )
+
+    def test_dims_mismatch_detected(self):
+        variant = self._variant()
+        bad_step = dataclasses.replace(
+            variant.steps[0], call_dims=(0, 0, 0)
+        )
+        corrupted = dataclasses.replace(
+            variant, steps=(bad_step, *variant.steps[1:])
+        )
+        assert any(
+            "call dims" in message for message in verify_or_report(corrupted)
+        )
+
+    def test_wrong_step_count_detected(self):
+        variant = self._variant()
+        corrupted = dataclasses.replace(variant, steps=variant.steps[:-1])
+        report = verify_or_report(corrupted)
+        assert any("expected 3 steps" in message for message in report)
+
+    def test_verify_variant_raises_with_details(self):
+        variant = self._variant()
+        bad_step = dataclasses.replace(variant.steps[0], triplet=(2, 1, 3))
+        corrupted = dataclasses.replace(
+            variant, steps=(bad_step, *variant.steps[1:])
+        )
+        with pytest.raises(VariantVerificationError, match="triplet"):
+            verify_variant(corrupted)

@@ -1,0 +1,169 @@
+"""Tests for variant construction (Section IV), including paper examples."""
+
+import numpy as np
+import pytest
+
+import sympy
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.compiler.parenthesization import (
+    enumerate_trees,
+    leaf,
+    left_to_right_tree,
+    linearize,
+    right_to_left_tree,
+)
+from repro.compiler.variant import build_variant
+
+from conftest import (
+    general_chain,
+    make_general,
+    make_lower,
+    make_orthogonal,
+    make_symmetric,
+    make_upper,
+)
+
+
+class TestPaperExampleSection4:
+    """(L1 G2^-1) G3: the worked example of Section IV step 1."""
+
+    def setup_method(self):
+        self.chain = Chain(
+            (
+                make_lower("L1").as_operand(),
+                make_general("G2", invertible=True).inv,
+                make_general("G3").as_operand(),
+            )
+        )
+        self.variant = build_variant(self.chain, left_to_right_tree(3))
+
+    def test_kernel_sequence(self):
+        assert self.variant.kernel_names == ("TRSM", "GEGESV")
+
+    def test_cost_is_5_thirds_m3_plus_2m2n(self):
+        m, n = 48, 31
+        got = self.variant.flop_cost((m, m, m, n))
+        assert got == pytest.approx(5 / 3 * m**3 + 2 * m * m * n)
+
+    def test_symbolic_cost(self):
+        q0, q2, q3 = sympy.symbols("q0 q2 q3", positive=True)
+        expected = sympy.expand(
+            sympy.Rational(2, 3) * q0**3 + q0**2 * q2 + 2 * q0**2 * q3
+        )
+        assert sympy.simplify(self.variant.symbolic_cost() - expected) == 0
+
+    def test_no_fixups(self):
+        # The pending inversion is consumed by the second association.
+        assert self.variant.fixups == ()
+
+
+class TestStandardChains:
+    def test_gemm_only(self):
+        chain = general_chain(4)
+        variant = build_variant(chain, left_to_right_tree(4))
+        assert variant.kernel_names == ("GEMM",) * 3
+        q = (2, 3, 4, 5, 6)
+        expected = 2 * (2 * 3 * 4 + 2 * 4 * 5 + 2 * 5 * 6)
+        assert variant.flop_cost(q) == expected
+
+    def test_triplets_match_tree(self):
+        chain = general_chain(5)
+        for tree in enumerate_trees(5):
+            variant = build_variant(chain, tree)
+            assert variant.triplets == tuple(
+                node.triplet for node in linearize(tree)
+            )
+
+    def test_outer_product_vs_inner_product(self):
+        # x^T (y z^T) costs ~m times more than (x^T y) z^T (paper intro).
+        x, y, z = (make_general(k) for k in "xyz")
+        chain = Chain((x.T, y.as_operand(), z.T))
+        m = 100
+        q = (1, m, 1, m)
+        outer_first = build_variant(chain, right_to_left_tree(3)).flop_cost(q)
+        inner_first = build_variant(chain, left_to_right_tree(3)).flop_cost(q)
+        assert outer_first / inner_first == pytest.approx(m, rel=0.05)
+
+
+class TestFixups:
+    def test_final_pending_inversion_forces_explicit_inverse(self):
+        # A^-1 B^-1 = (B A)^-1: the inversion propagates to the end result.
+        chain = Chain(
+            (make_general("A", invertible=True).inv,
+             make_general("B", invertible=True).inv)
+        )
+        variant = build_variant(chain, left_to_right_tree(2))
+        assert variant.kernel_names == ("GEMM", "GEINV")
+        m = 10
+        assert variant.flop_cost((m, m, m)) == 2 * m**3 + 2 * m**3
+
+    def test_triangular_pending_inversion_uses_trinv(self):
+        chain = Chain((make_lower("L1").inv, make_lower("L2").inv))
+        variant = build_variant(chain, left_to_right_tree(2))
+        # (L2 L1)^-1: TRTRMM (same triangularity) then TRINV.
+        assert variant.kernel_names == ("TRTRMM", "TRINV")
+        m = 6
+        assert variant.flop_cost((m, m, m)) == pytest.approx(m**3 / 3 + m**3 / 3)
+
+    def test_final_pending_transpose(self):
+        chain = Chain((make_lower("L").as_operand(), make_general("G").T))
+        variant = build_variant(chain, left_to_right_tree(2))
+        assert variant.kernel_names == ("TRMM", "TRANSPOSE")
+        # Explicit transposition adds no FLOPs.
+        q = (4, 4, 7)
+        assert variant.flop_cost(q) == 4 * 4 * 7
+
+
+class TestSingleMatrixChains:
+    def test_plain_copy(self):
+        chain = Chain((make_general("A").as_operand(),))
+        variant = build_variant(chain, leaf(0))
+        assert variant.kernel_names == ("COPY",)
+        assert variant.flop_cost((3, 4)) == 0.0
+
+    def test_explicit_inverse(self):
+        chain = Chain((make_general("A", invertible=True).inv,))
+        variant = build_variant(chain, leaf(0))
+        assert variant.kernel_names == ("GEINV",)
+        assert variant.flop_cost((5, 5)) == 2 * 5**3
+
+    def test_explicit_transpose(self):
+        chain = Chain((make_general("A").T,))
+        variant = build_variant(chain, leaf(0))
+        assert variant.kernel_names == ("TRANSPOSE",)
+
+    def test_inverse_transpose(self):
+        chain = Chain((make_general("A", invertible=True).invT,))
+        variant = build_variant(chain, leaf(0))
+        assert variant.kernel_names == ("GEINV", "TRANSPOSE")
+
+
+class TestErrorsAndMeta:
+    def test_wrong_tree_span_rejected(self):
+        chain = general_chain(3)
+        with pytest.raises(CompilationError):
+            build_variant(chain, left_to_right_tree(4))
+
+    def test_signature_distinguishes_variants(self):
+        chain = general_chain(4)
+        signatures = {build_variant(chain, t).signature() for t in enumerate_trees(4)}
+        assert len(signatures) == len(enumerate_trees(4))
+
+    def test_describe_mentions_kernels(self):
+        chain = Chain(
+            (make_symmetric("S", spd=True).inv, make_general("G").as_operand())
+        )
+        variant = build_variant(chain, left_to_right_tree(2), name="demo")
+        text = variant.describe()
+        assert "POGESV" in text
+        assert "demo" in text
+
+    def test_vectorized_cost_matches_scalar(self):
+        chain = general_chain(4)
+        variant = build_variant(chain, left_to_right_tree(4))
+        instances = np.array([[2, 3, 4, 5, 6], [7, 3, 9, 2, 4]])
+        many = variant.flop_cost_many(instances)
+        for row, expected in zip(instances, many):
+            assert variant.flop_cost(tuple(row)) == pytest.approx(expected)
