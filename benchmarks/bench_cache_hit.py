@@ -1,0 +1,87 @@
+"""Compilation-cache speedup: warm vs. cold `compile_chain` latency.
+
+The content-addressed cache (PR 1) turns repeat compilations of a chain
+structure into a parse + simplify + dispatcher rebuild; this benchmark
+tracks the cold path, the warm in-memory path, the warm on-disk path, and
+the batch API's dedup behaviour so the speedup stays visible in the perf
+trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.session import CompilerSession
+from repro.experiments.sampling import sample_shapes
+
+from conftest import emit
+
+TRAIN = 300
+
+
+@pytest.fixture(scope="module")
+def chain6():
+    rng = np.random.default_rng(23)
+    return sample_shapes(6, 1, rng, rectangular_probability=0.5)[0]
+
+
+def test_compile_cold(benchmark, chain6):
+    """Cold compilation: full enumerate/cost-matrix/select pipeline."""
+
+    def cold():
+        session = CompilerSession()
+        return session.compile(chain6, num_training_instances=TRAIN)
+
+    generated = benchmark(cold)
+    assert len(generated) >= 1
+
+
+def test_compile_warm_memory(benchmark, chain6):
+    """Warm compilation: structural hit in the in-memory LRU."""
+    session = CompilerSession()
+    session.compile(chain6, num_training_instances=TRAIN)  # warm it
+
+    generated = benchmark(
+        session.compile, chain6, num_training_instances=TRAIN
+    )
+    assert session.cache_stats().hits >= 1
+    assert "enumerate" in session.last_context.skipped
+    emit(
+        "cache speedup (n=6, train=300)",
+        f"warm hit skips: {', '.join(session.last_context.skipped)}\n"
+        f"stats: {session.cache_stats()}",
+    )
+    assert len(generated) >= 1
+
+
+def test_compile_warm_disk(benchmark, chain6, tmp_path_factory):
+    """Warm-from-disk: a fresh process-equivalent session, disk entry only."""
+    cache_dir = tmp_path_factory.mktemp("gmc-cache")
+    CompilerSession(cache_dir=cache_dir).compile(
+        chain6, num_training_instances=TRAIN
+    )
+
+    def warm_from_disk():
+        session = CompilerSession(cache_dir=cache_dir)
+        return session.compile(chain6, num_training_instances=TRAIN)
+
+    generated = benchmark(warm_from_disk)
+    assert len(generated) >= 1
+
+
+def test_compile_many_batch_dedup(benchmark):
+    """Batch of 12 chains, 4 distinct structures: 3x dedup via the cache."""
+    from repro.ir import simplify_chain, structural_key
+
+    rng = np.random.default_rng(5)
+    distinct = sample_shapes(5, 4, rng, rectangular_probability=0.5)
+    unique = len({structural_key(simplify_chain(c)) for c in distinct})
+    batch = list(distinct) * 3
+
+    def run_batch():
+        session = CompilerSession()
+        results = session.compile_many(batch, num_training_instances=TRAIN)
+        assert session.cache_stats().misses == unique
+        return results
+
+    results = benchmark(run_batch)
+    assert len(results) == len(batch)

@@ -52,12 +52,14 @@ from repro.compiler import (
     Dispatcher,
     execute_variant,
     dp_optimal_cost,
+    CompilerSession,
 )
 from repro.api import (
     GeneratedCode,
     GeneratedExpression,
     compile_chain,
     compile_expression,
+    compile_many,
 )
 
 __version__ = "1.0.0"
@@ -95,6 +97,8 @@ __all__ = [
     "dp_optimal_cost",
     "compile_chain",
     "compile_expression",
+    "compile_many",
+    "CompilerSession",
     "GeneratedCode",
     "GeneratedExpression",
     "__version__",

@@ -1,10 +1,17 @@
 """High-level facade: the code generator of Fig. 1 in one call.
 
 :func:`compile_chain` takes a symbolic chain (or a program in the Fig. 2
-input language), runs the full pipeline — simplification rewrites, essential
-set selection per Theorem 2, optional greedy expansion per Algorithm 1 —
-and returns a :class:`GeneratedCode` object bundling the variants, their
-cost functions, the run-time dispatcher, and the C++ emission.
+input language), runs the full pass pipeline
+(:mod:`repro.compiler.pipeline`) — simplification rewrites, essential set
+selection per Theorem 2, optional greedy expansion per Algorithm 1 — and
+returns a :class:`GeneratedCode` object bundling the variants, their cost
+functions, the run-time dispatcher, and the C++ emission.
+
+Both :func:`compile_chain` and :func:`compile_expression` are thin wrappers
+over a shared :class:`~repro.compiler.session.CompilerSession`, so repeated
+compilations of structurally identical chains hit the content-addressed
+compilation cache.  Hold your own session (or use
+:func:`CompilerSession.compile_many`) for batch workloads.
 """
 
 from __future__ import annotations
@@ -14,15 +21,9 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CompilationError
 from repro.ir.chain import Chain
-from repro.ir.parser import parse_chain
-from repro.ir.rewrites import simplify_chain
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
-from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
-from repro.compiler.selection import CostMatrix, all_variants, essential_set
 from repro.compiler.variant import Variant
-from repro.experiments.sampling import sample_instances
 
 
 @dataclass
@@ -100,14 +101,16 @@ class GeneratedCode:
 def compile_chain(
     chain,
     *,
-    expand_by: int = 0,
+    expand_by: Optional[int] = None,
     training_instances: Optional[np.ndarray] = None,
-    num_training_instances: int = 1000,
-    size_range: tuple[int, int] = (2, 1000),
-    objective: str = "avg",
-    cost_estimator: CostEstimator = flop_estimator,
-    seed: int = 0,
-    simplify: bool = True,
+    num_training_instances: Optional[int] = None,
+    size_range: Optional[tuple[int, int]] = None,
+    objective: Optional[str] = None,
+    cost_estimator: Optional[CostEstimator] = None,
+    seed: Optional[int] = None,
+    simplify: Optional[bool] = None,
+    use_cache: bool = True,
+    session: Optional["CompilerSession"] = None,
 ) -> GeneratedCode:
     """Compile a symbolic chain into multi-versioned generated code.
 
@@ -119,7 +122,10 @@ def compile_chain(
     expand_by:
         How many extra variants to add beyond the Theorem 2 base set with
         the greedy expansion of Algorithm 1 (``E_s1`` has ``expand_by=1``,
-        ``E_s2`` has ``expand_by=2``, ...).
+        ``E_s2`` has ``expand_by=2``, ...).  Defaults to 0.  Like the
+        other knobs, omitting it defers to the session's own
+        :class:`~repro.compiler.pipeline.CompileOptions` — only knobs you
+        pass explicitly override the session defaults.
     training_instances:
         Instances used for representative selection and expansion; sampled
         uniformly from ``size_range`` when omitted.
@@ -128,53 +134,47 @@ def compile_chain(
     cost_estimator:
         The cost function the run-time dispatcher uses (FLOPs by default;
         plug in a performance-model estimator for time-based dispatch).
+    session:
+        The :class:`~repro.compiler.session.CompilerSession` to compile in;
+        defaults to the shared process-wide session (and its cache).
     """
-    if isinstance(chain, str):
-        chain = parse_chain(chain)
-    if not isinstance(chain, Chain):
-        raise CompilationError(
-            f"expected a Chain or program source, got {type(chain).__name__}"
-        )
-    if simplify:
-        chain = simplify_chain(chain)
+    from repro.compiler.session import get_default_session
 
-    if training_instances is None:
-        rng = np.random.default_rng(seed)
-        training_instances = sample_instances(
-            chain, num_training_instances, rng, low=size_range[0], high=size_range[1]
-        )
-
-    if chain.n == 1:
-        variants = [_single_variant(chain)]
-    else:
-        matrix = CostMatrix(all_variants(chain), training_instances)
-        variants = essential_set(
-            chain, cost_matrix=matrix, objective=objective
-        )
-        if expand_by > 0:
-            scorer = AveragePenalty if objective == "avg" else MaxPenalty
-            variants = expand_set(
-                matrix,
-                variants,
-                max_size=len(variants) + expand_by,
-                objective=lambda m, idx: scorer(m, idx),
-            )
-
-    dispatcher = Dispatcher(chain, variants, cost_estimator=cost_estimator)
-    return GeneratedCode(
-        chain=chain,
-        variants=variants,
-        dispatcher=dispatcher,
-        training_instances=np.asarray(training_instances),
+    if session is None:
+        session = get_default_session()
+    return session.compile(
+        chain,
+        training_instances=training_instances,
+        cost_estimator=cost_estimator,
+        use_cache=use_cache,
+        expand_by=expand_by,
+        num_training_instances=num_training_instances,
+        size_range=None if size_range is None else tuple(size_range),
+        objective=objective,
+        seed=seed,
+        simplify=simplify,
     )
 
 
-def _single_variant(chain: Chain) -> Variant:
-    """The (only) variant of a one-matrix chain: unary fix-ups."""
-    from repro.compiler.parenthesization import leaf
-    from repro.compiler.variant import build_variant
+def compile_many(
+    chains: Sequence,
+    *,
+    session: Optional["CompilerSession"] = None,
+    **kwargs,
+) -> list[GeneratedCode]:
+    """Batch-compile chains; see :meth:`CompilerSession.compile_many`.
 
-    return build_variant(chain, leaf(0), name="single")
+    Structurally identical chains compile once; distinct ones fan out over
+    a thread pool.  Results match the input order and are identical to
+    sequential :func:`compile_chain` calls with the same keyword knobs
+    (``expand_by``, ``objective``, ..., plus a shared ``training_instances``
+    array when every chain has the same length).
+    """
+    from repro.compiler.session import get_default_session
+
+    if session is None:
+        session = get_default_session()
+    return session.compile_many(chains, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -230,33 +230,22 @@ class GeneratedExpression:
         return len(self.term_codes)
 
 
-def compile_expression(expression, **kwargs) -> GeneratedExpression:
+def compile_expression(
+    expression, *, session: Optional["CompilerSession"] = None, **kwargs
+) -> GeneratedExpression:
     """Compile a sum of chains; see :func:`compile_chain` for the knobs.
 
     ``expression`` may be a :class:`~repro.ir.expression.ChainSum` or
     program source whose expression has one or more terms.  Each term's
     chain goes through the full pipeline (simplification, Theorem 2
     selection, optional expansion); term results are accumulated at run
-    time.
+    time.  Structurally identical terms share one cached compilation.
 
     A term whose chain simplifies to the identity matrix is rejected
     (:class:`ShapeError`), as for single-chain compilation.
     """
-    from repro.ir.expression import ChainSum
-    from repro.ir.parser import parse_expression
+    from repro.compiler.session import get_default_session
 
-    if isinstance(expression, str):
-        expression = parse_expression(expression)
-    if isinstance(expression, Chain):
-        from repro.ir.expression import ChainTerm
-
-        expression = ChainSum((ChainTerm(1.0, expression),))
-    if not isinstance(expression, ChainSum):
-        raise CompilationError(
-            f"expected a ChainSum or program source, got "
-            f"{type(expression).__name__}"
-        )
-    term_codes = [
-        compile_chain(term.chain, **kwargs) for term in expression.terms
-    ]
-    return GeneratedExpression(expression=expression, term_codes=term_codes)
+    if session is None:
+        session = get_default_session()
+    return session.compile_expression(expression, **kwargs)

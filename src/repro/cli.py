@@ -2,9 +2,12 @@
 
 Commands:
 
-* ``compile`` — compile a program in the Fig. 2 input language and show the
-  selected variants, their symbolic costs, and (optionally) the generated
-  C++ code.
+* ``compile`` — compile a program in the Fig. 2 input language through a
+  :class:`~repro.compiler.session.CompilerSession` and show the selected
+  variants, their symbolic costs, and (optionally) the generated C++ code;
+  ``--cache-dir`` persists compilations across invocations.
+* ``cache stats`` / ``cache clear`` — inspect or empty the on-disk
+  compilation cache.
 * ``fig5`` — run Experiment A (FLOPs, paper Fig. 5) and print the summary
   statistics and eCDF samples.
 * ``fig6`` — run Experiment B (execution time, paper Fig. 6).
@@ -15,13 +18,44 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 
+def _env_cache_dir(fallback: str | None = None) -> str | None:
+    """The REPRO_CACHE_DIR override, read at parser-build time.
+
+    ``compile`` defaults to no disk cache unless the env var is set;
+    ``cache stats/clear`` default to ``.repro-cache``.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", fallback)
+
+
+def _make_session(args: argparse.Namespace):
+    from repro.compiler.session import CompilerSession, get_default_session
+
+    if getattr(args, "cache_dir", None):
+        return CompilerSession(cache_dir=args.cache_dir)
+    return get_default_session()
+
+
+def _print_session_diagnostics(session, args: argparse.Namespace) -> None:
+    if getattr(args, "timings", False) and session.last_context is not None:
+        print()
+        print("pass timings:")
+        for name, seconds in session.last_context.timings.items():
+            print(f"  {name:<12} {1e3 * seconds:8.2f} ms")
+        if session.last_context.skipped:
+            skipped = dict.fromkeys(session.last_context.skipped)  # dedupe
+            print(f"  skipped (cache hit): {', '.join(skipped)}")
+    if getattr(args, "stats", False):
+        print()
+        print(f"cache: {session.cache_stats()}")
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from repro.api import compile_chain, compile_expression
     from repro.ir.parser import parse_program
 
     if args.file:
@@ -33,11 +67,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print("error: provide --file or --source", file=sys.stderr)
         return 2
 
+    session = _make_session(args)
     program = parse_program(source)
     if len(program.expression) > 1 or (
         program.expression.terms[0].coefficient != 1.0
     ):
-        generated = compile_expression(
+        generated = session.compile_expression(
             program.expression,
             expand_by=args.expand,
             num_training_instances=args.train,
@@ -48,9 +83,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             print()
             for i, code in enumerate(generated.term_codes):
                 print(code.cpp_source(function_name=f"{args.function_name}_term{i}"))
+        _print_session_diagnostics(session, args)
         return 0
 
-    generated = compile_chain(
+    generated = session.compile(
         program.chain,
         expand_by=args.expand,
         num_training_instances=args.train,
@@ -63,7 +99,29 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.cpp:
         print()
         print(generated.cpp_source(function_name=args.function_name))
+    _print_session_diagnostics(session, args)
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.compiler.cache import DiskCache
+
+    disk = DiskCache(args.cache_dir)
+    if args.action == "stats":
+        stats = disk.stats()
+        print(f"cache directory: {stats['directory']}")
+        print(f"entries:         {stats['entries']}")
+        print(f"total bytes:     {stats['total_bytes']}")
+        if args.verbose:
+            for key in disk.keys():
+                print(f"  {key}")
+        return 0
+    if args.action == "clear":
+        removed = disk.clear()
+        print(f"removed {removed} cache entries from {disk.directory}")
+        return 0
+    print(f"error: unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def _print_ecdf(name: str, ecdf, xs) -> None:
@@ -196,7 +254,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cpp", action="store_true", help="emit generated C++")
     p.add_argument("--function-name", default="evaluate_chain")
+    p.add_argument(
+        "--cache-dir",
+        default=_env_cache_dir(),
+        help="persist compilations to this directory (content-addressed; "
+        "defaults to $REPRO_CACHE_DIR when set, else no disk cache)",
+    )
+    p.add_argument(
+        "--timings", action="store_true", help="print per-pass wall times"
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="print compilation-cache stats"
+    )
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument(
+        "--cache-dir",
+        default=_env_cache_dir(".repro-cache"),
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="list entry keys (stats)"
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("fig5", help="Experiment A: FLOPs (Fig. 5)")
     p.add_argument("--n", type=int, nargs="+", default=[5, 6, 7])

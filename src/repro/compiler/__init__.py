@@ -17,6 +17,12 @@ Modules:
 * :mod:`repro.compiler.dispatch` — the runtime variant dispatcher (Fig. 1).
 * :mod:`repro.compiler.executor` — executes a variant on concrete NumPy
   matrices through the kernel reference implementations.
+* :mod:`repro.compiler.pipeline` — the staged pass pipeline (parse,
+  simplify, sample, enumerate, cost-matrix, select, expand, dispatch).
+* :mod:`repro.compiler.cache` — the content-addressed compilation cache
+  (in-memory LRU + optional disk layer).
+* :mod:`repro.compiler.session` — the :class:`CompilerSession` facade with
+  cached single and batch (``compile_many``) compilation.
 """
 
 from repro.compiler.parenthesization import (
@@ -46,8 +52,32 @@ from repro.compiler.validation import (
     verify_or_report,
     verify_variant,
 )
+from repro.compiler.pipeline import (
+    CompileOptions,
+    CompilerPass,
+    PassContext,
+    Pipeline,
+    default_pipeline,
+)
+from repro.compiler.cache import CacheStats, CompilationCache, DiskCache
+from repro.compiler.session import (
+    CompilerSession,
+    get_default_session,
+    set_default_session,
+)
 
 __all__ = [
+    "CompileOptions",
+    "CompilerPass",
+    "PassContext",
+    "Pipeline",
+    "default_pipeline",
+    "CacheStats",
+    "CompilationCache",
+    "DiskCache",
+    "CompilerSession",
+    "get_default_session",
+    "set_default_session",
     "ParenTree",
     "enumerate_trees",
     "left_to_right_tree",

@@ -1,0 +1,329 @@
+"""Content-addressed compilation cache (memory LRU + optional disk layer).
+
+Compilation is deterministic but expensive (Catalan-many variants scored on
+a training set), and it depends only on the chain's *structure* — features,
+operators, and the size-sharing pattern — plus the
+:class:`~repro.compiler.pipeline.CompileOptions`.  The cache keys entries by
+the SHA-256 of that pair (:mod:`repro.ir.structural`), so structurally
+identical chains compile once; a hit under a renamed-but-isomorphic chain
+rebinds the cached variants to the new chain, which is sound because variant
+steps reference operands by position, never by name.
+
+Two layers:
+
+* an in-memory LRU (``capacity`` entries, thread-safe) for the hot path;
+* an optional on-disk layer (one JSON file per key under ``disk_dir``,
+  written atomically) reusing the :mod:`repro.codegen.serialize` format —
+  the moral equivalent of a shared build cache for the generated C++.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.ir.chain import Chain
+from repro.ir.structural import structural_key
+from repro.compiler.pipeline import CompileOptions
+from repro.compiler.variant import Variant
+
+#: Bump when the on-disk entry layout changes.
+DISK_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through ``CompilerSession.cache_stats()``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_errors": self.disk_errors,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        text = (
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"disk_hits={self.disk_hits} disk_writes={self.disk_writes} "
+            f"hit_rate={self.hit_rate:.1%}"
+        )
+        if self.disk_errors:
+            text += f" disk_errors={self.disk_errors}"
+        return text
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One compiled structure: the chain it was compiled under + artifacts."""
+
+    chain: Chain
+    variants: tuple[Variant, ...]
+    training_instances: np.ndarray
+
+
+def compilation_key(
+    chain: Chain, options: CompileOptions, pipeline_fingerprint: str = ""
+) -> str:
+    """Content address of one (structure, options, pipeline) compilation."""
+    token = (structural_key(chain), options.cache_token(), pipeline_fingerprint)
+    return hashlib.sha256(repr(token).encode()).hexdigest()
+
+
+def rebind_variants(
+    entry: CacheEntry, chain: Chain
+) -> tuple[list[Variant], np.ndarray]:
+    """Re-target cached variants at an isomorphic chain.
+
+    Steps and fix-ups reference operands positionally, so only the ``chain``
+    field changes; fresh :class:`Variant` objects keep cache entries immune
+    to caller-side mutation.  The training instances are copied for the
+    same reason.
+    """
+    if structural_key(entry.chain) != structural_key(chain):
+        raise ValueError(
+            "cache entry is for a structurally different chain "
+            f"({entry.chain} vs {chain})"
+        )
+    variants = [dataclasses.replace(v, chain=chain) for v in entry.variants]
+    return variants, np.array(entry.training_instances, copy=True)
+
+
+# ---------------------------------------------------------------------------
+# Disk layer.
+# ---------------------------------------------------------------------------
+
+
+class DiskCache:
+    """One-JSON-file-per-key persistent layer under ``directory``."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        from repro.codegen import serialize
+
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError
+            # a binary-garbage entry raises from read_text().
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("disk_format_version") != DISK_FORMAT_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None
+        try:
+            chain, variants = serialize.loads(json.dumps(payload["compiled"]))
+        except (KeyError, serialize.SerializationError):
+            return None
+        training = np.asarray(payload.get("training_instances", []), dtype=np.float64)
+        if training.size == 0:
+            training = training.reshape(0, chain.n + 1)
+        return CacheEntry(
+            chain=chain, variants=tuple(variants), training_instances=training
+        )
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        from repro.codegen import serialize
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "disk_format_version": DISK_FORMAT_VERSION,
+            "key": key,
+            "compiled": json.loads(
+                serialize.dumps(entry.chain, list(entry.variants))
+            ),
+            "training_instances": np.asarray(
+                entry.training_instances
+            ).tolist(),
+        }
+        # Atomic publish: concurrent writers of the same key both produce
+        # identical content, so last-rename-wins is safe.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> list[str]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed.
+
+        Also sweeps ``*.tmp`` droppings left by writers that were killed
+        between ``mkstemp`` and the atomic rename (not counted).
+        """
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.directory.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, object]:
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                # A concurrent `cache clear` (or eviction) may unlink files
+                # between glob and stat; skip the ones that vanished.
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "total_bytes": total_bytes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Two-layer cache.
+# ---------------------------------------------------------------------------
+
+
+class CompilationCache:
+    """Thread-safe LRU over :class:`CacheEntry`, with disk fall-through.
+
+    ``get`` consults memory first, then disk (promoting disk hits into
+    memory); ``put`` writes both layers.  All counters live in
+    :class:`CacheStats`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        disk_dir: Optional[str | os.PathLike] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk = DiskCache(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def key(
+        self,
+        chain: Chain,
+        options: CompileOptions,
+        pipeline_fingerprint: str = "",
+    ) -> str:
+        return compilation_key(chain, options, pipeline_fingerprint)
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        if self.disk is not None:
+            entry = self.disk.load(key)
+            if entry is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._insert(key, entry)
+                return entry
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._insert(key, entry)
+        if self.disk is not None:
+            # A broken disk layer (unwritable path, --cache-dir pointing at
+            # a file, full disk, an unserializable custom variant) must not
+            # fail the compilation it caches.
+            try:
+                self.disk.store(key, entry)
+            except Exception:
+                with self._lock:
+                    self.stats.disk_errors += 1
+            else:
+                with self._lock:
+                    self.stats.disk_writes += 1
+
+    def _insert(self, key: str, entry: CacheEntry) -> None:
+        # Caller holds the lock.
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer (and the disk layer when ``disk=True``)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+        if disk and self.disk is not None:
+            self.disk.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,445 @@
+"""Pass-based compilation pipeline (the staged generator of Fig. 1).
+
+The generator runs a fixed conceptual sequence — parse, simplify, sample a
+training set, enumerate parenthesizations, build the cost matrix, select the
+essential set per Theorem 2, greedily expand per Algorithm 1, build the
+dispatcher.  This module makes each stage an explicit, named
+:class:`CompilerPass` over a shared :class:`PassContext`, so stages can be
+skipped, swapped, or instrumented, and so the compilation cache can bypass
+exactly the expensive middle of the pipeline (everything between
+simplification and dispatch) on a structural hit.
+
+Passes marked ``cacheable = True`` produce artifacts that depend only on the
+chain *structure* and the :class:`CompileOptions`; those are the passes a
+cache hit skips.  Parsing, simplification, and dispatcher construction are
+name- or estimator-dependent and always run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
+from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
+from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.compiler.variant import Variant
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Structure-independent knobs of one compilation.
+
+    Everything here (plus the chain's structural key) determines the
+    selected variants, so the tuple doubles as the options half of the
+    compilation-cache key.  The run-time ``cost_estimator`` is *not* an
+    option: it only parameterizes the dispatcher, which is rebuilt on every
+    compile (cache hit or miss).
+    """
+
+    expand_by: int = 0
+    num_training_instances: int = 1000
+    size_range: tuple[int, int] = (2, 1000)
+    objective: str = "avg"
+    seed: int = 0
+    simplify: bool = True
+    #: Digest of an explicitly supplied training set (None when sampled).
+    training_fingerprint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("avg", "max"):
+            raise CompilationError(
+                f"objective must be 'avg' or 'max', got {self.objective!r}"
+            )
+
+    def cache_token(self) -> tuple:
+        """The hashable options component of the compilation-cache key.
+
+        With an explicit training set (``training_fingerprint`` set), the
+        sampling knobs (``num_training_instances``, ``size_range``,
+        ``seed``) never reach the pipeline, so they are excluded — the same
+        data under a different seed must still hit.
+        """
+        if self.training_fingerprint is not None:
+            sampling: tuple = ()
+        else:
+            sampling = (
+                self.num_training_instances,
+                tuple(self.size_range),
+                self.seed,
+            )
+        return (
+            self.expand_by,
+            self.objective,
+            self.simplify,
+            self.training_fingerprint,
+            sampling,
+        )
+
+
+def fingerprint_instances(instances: np.ndarray) -> str:
+    """Content digest of an explicit training-instance array."""
+    array = np.ascontiguousarray(np.asarray(instances, dtype=np.float64))
+    digest = hashlib.sha256(array.tobytes())
+    digest.update(str(array.shape).encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class PassContext:
+    """Mutable state threaded through the pipeline.
+
+    ``source`` is the user input (a chain or program text); each pass reads
+    the artifacts of its predecessors and writes its own.  ``executed`` and
+    ``timings`` record which passes actually ran and for how long — the
+    cache tests assert on them, and ``repro compile --timings`` prints them.
+    """
+
+    source: object
+    options: CompileOptions = field(default_factory=CompileOptions)
+    cost_estimator: CostEstimator = flop_estimator
+
+    # -- artifacts, in pipeline order ---------------------------------------
+    chain: Optional[Chain] = None
+    training_instances: Optional[np.ndarray] = None
+    variants: Optional[list[Variant]] = None
+    cost_matrix: Optional[CostMatrix] = None
+    selected: Optional[list[Variant]] = None
+    dispatcher: Optional[Dispatcher] = None
+
+    # -- instrumentation ----------------------------------------------------
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    #: True while the back pipeline runs on a cache hit.  A custom
+    #: non-cacheable pass spliced among the cacheable stages must branch on
+    #: this: the skipped stages' intermediates (``variants``,
+    #: ``cost_matrix``) are absent on a hit — only ``selected`` and
+    #: ``training_instances`` are restored from the cache.
+    cache_hit: bool = False
+
+    def require(self, attribute: str) -> object:
+        value = getattr(self, attribute)
+        if value is None:
+            hint = (
+                " (this compile was served from the cache, which restores "
+                "only 'selected' and 'training_instances'; guard custom "
+                "passes with `if ctx.cache_hit`)"
+                if self.cache_hit
+                else " (did an earlier pass get skipped?)"
+            )
+            raise CompilationError(
+                f"pipeline artifact {attribute!r} missing{hint}"
+            )
+        return value
+
+
+class CompilerPass:
+    """One named stage of the pipeline.
+
+    Subclasses set ``name`` and implement :meth:`run`.  ``cacheable`` marks
+    passes whose artifacts a compilation-cache hit replaces.
+    """
+
+    name: str = "<pass>"
+    cacheable: bool = False
+
+    def run(self, ctx: PassContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def cache_token(self) -> tuple:
+        """Hashable configuration of this pass instance.
+
+        Folded into :meth:`Pipeline.fingerprint`.  A parameterized pass
+        (e.g. a top-k selection strategy) must override this to return its
+        parameters, otherwise two differently-configured instances of the
+        same class would share compilation-cache entries.
+        """
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ParsePass(CompilerPass):
+    """Turn program text into a :class:`Chain`; validate chain inputs."""
+
+    name = "parse"
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.ir.parser import parse_chain
+
+        source = ctx.source
+        if isinstance(source, str):
+            source = parse_chain(source)
+        if not isinstance(source, Chain):
+            raise CompilationError(
+                f"expected a Chain or program source, got {type(source).__name__}"
+            )
+        ctx.chain = source
+
+
+class SimplifyPass(CompilerPass):
+    """Apply the Section III-A rewrites (no-op when options.simplify=False)."""
+
+    name = "simplify"
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.ir.rewrites import simplify_chain
+
+        chain = ctx.require("chain")
+        if ctx.options.simplify:
+            ctx.chain = simplify_chain(chain)
+
+
+class TrainingSamplePass(CompilerPass):
+    """Sample the training instances Q (skipped when supplied explicitly)."""
+
+    name = "sample"
+    cacheable = True
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.experiments.sampling import sample_instances
+
+        if ctx.training_instances is not None:
+            ctx.training_instances = np.asarray(ctx.training_instances)
+            return
+        chain = ctx.require("chain")
+        rng = np.random.default_rng(ctx.options.seed)
+        low, high = ctx.options.size_range
+        ctx.training_instances = sample_instances(
+            chain, ctx.options.num_training_instances, rng, low=low, high=high
+        )
+
+
+class EnumeratePass(CompilerPass):
+    """Enumerate the full variant set A (one per parenthesization)."""
+
+    name = "enumerate"
+    cacheable = True
+
+    def run(self, ctx: PassContext) -> None:
+        chain = ctx.require("chain")
+        if chain.n == 1:
+            ctx.variants = [_single_variant(chain)]
+        else:
+            ctx.variants = all_variants(chain)
+
+
+class CostMatrixPass(CompilerPass):
+    """Pre-evaluate every variant on every training instance (batched)."""
+
+    name = "cost-matrix"
+    cacheable = True
+
+    def run(self, ctx: PassContext) -> None:
+        chain = ctx.require("chain")
+        if chain.n == 1:
+            return  # nothing to score: the single variant is forced
+        ctx.cost_matrix = CostMatrix(
+            ctx.require("variants"), ctx.require("training_instances")
+        )
+
+
+class EssentialSetPass(CompilerPass):
+    """Theorem 2: one fanning-out representative per equivalence class."""
+
+    name = "select"
+    cacheable = True
+
+    def run(self, ctx: PassContext) -> None:
+        chain = ctx.require("chain")
+        if chain.n == 1:
+            ctx.selected = list(ctx.require("variants"))
+            return
+        ctx.selected = essential_set(
+            chain,
+            cost_matrix=ctx.require("cost_matrix"),
+            objective=ctx.options.objective,
+        )
+
+
+class ExpansionPass(CompilerPass):
+    """Algorithm 1: greedily grow the set by ``expand_by`` variants."""
+
+    name = "expand"
+    cacheable = True
+
+    def run(self, ctx: PassContext) -> None:
+        chain = ctx.require("chain")
+        selected = ctx.require("selected")
+        if ctx.options.expand_by <= 0 or chain.n == 1:
+            return
+        scorer = AveragePenalty if ctx.options.objective == "avg" else MaxPenalty
+        ctx.selected = expand_set(
+            ctx.require("cost_matrix"),
+            selected,
+            max_size=len(selected) + ctx.options.expand_by,
+            objective=lambda m, idx: scorer(m, idx),
+        )
+
+
+class DispatchPass(CompilerPass):
+    """Build the run-time dispatcher over the selected variants."""
+
+    name = "dispatch"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.dispatcher = Dispatcher(
+            ctx.require("chain"),
+            ctx.require("selected"),
+            cost_estimator=ctx.cost_estimator,
+        )
+
+
+def _single_variant(chain: Chain) -> Variant:
+    """The (only) variant of a one-matrix chain: unary fix-ups."""
+    from repro.compiler.parenthesization import leaf
+    from repro.compiler.variant import build_variant
+
+    return build_variant(chain, leaf(0), name="single")
+
+
+#: Observer signature: (pass, context, elapsed seconds or None when skipped).
+PassObserver = Callable[[CompilerPass, PassContext, Optional[float]], None]
+
+
+class Pipeline:
+    """An ordered sequence of named passes.
+
+    The default pipeline mirrors Fig. 1.  ``without``/``replaced``/``extended``
+    derive modified pipelines non-destructively, so callers can drop the
+    expansion stage, swap the selection strategy, or splice in an
+    instrumentation pass without touching this module.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[CompilerPass]] = None,
+        observer: Optional[PassObserver] = None,
+    ):
+        self.passes: list[CompilerPass] = list(
+            default_passes() if passes is None else passes
+        )
+        self.observer = observer
+        names = [p.name for p in self.passes]
+        if len(set(names)) != len(names):
+            raise CompilationError(f"duplicate pass names in pipeline: {names}")
+
+    # -- derivation ---------------------------------------------------------
+
+    def without(self, *names: str) -> "Pipeline":
+        """A pipeline with the named passes removed."""
+        missing = set(names) - {p.name for p in self.passes}
+        if missing:
+            raise CompilationError(f"unknown passes: {sorted(missing)}")
+        return Pipeline(
+            [p for p in self.passes if p.name not in names], self.observer
+        )
+
+    def replaced(self, name: str, new_pass: CompilerPass) -> "Pipeline":
+        """A pipeline with one pass swapped for another (same position)."""
+        if name not in {p.name for p in self.passes}:
+            raise CompilationError(f"unknown pass: {name!r}")
+        return Pipeline(
+            [new_pass if p.name == name else p for p in self.passes],
+            self.observer,
+        )
+
+    def extended(self, new_pass: CompilerPass, after: Optional[str] = None) -> "Pipeline":
+        """A pipeline with a pass appended (or inserted after ``after``)."""
+        passes = list(self.passes)
+        if after is None:
+            passes.append(new_pass)
+        else:
+            index = next(
+                (i for i, p in enumerate(passes) if p.name == after), None
+            )
+            if index is None:
+                raise CompilationError(f"unknown pass: {after!r}")
+            passes.insert(index + 1, new_pass)
+        return Pipeline(passes, self.observer)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self, ctx: PassContext, skip: Iterable[str] = ()
+    ) -> PassContext:
+        """Run the passes in order, skipping any whose name is in ``skip``.
+
+        The cache layer passes ``skip={cacheable pass names}`` on a hit,
+        having pre-populated the skipped passes' artifacts on the context.
+        """
+        skip = set(skip)
+        for compiler_pass in self.passes:
+            if compiler_pass.name in skip:
+                ctx.skipped.append(compiler_pass.name)
+                if self.observer is not None:
+                    self.observer(compiler_pass, ctx, None)
+                continue
+            start = time.perf_counter()
+            compiler_pass.run(ctx)
+            elapsed = time.perf_counter() - start
+            ctx.executed.append(compiler_pass.name)
+            ctx.timings[compiler_pass.name] = (
+                ctx.timings.get(compiler_pass.name, 0.0) + elapsed
+            )
+            if self.observer is not None:
+                self.observer(compiler_pass, ctx, elapsed)
+        return ctx
+
+    def cacheable_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes if p.cacheable)
+
+    def fingerprint(self) -> str:
+        """Identity of the pass sequence, for the compilation-cache key.
+
+        Two sessions sharing a disk cache but running different pipelines
+        (a swapped selection pass, an extra stage, a reconfigured pass) must
+        not serve each other's entries; the fingerprint keys on the pass
+        classes plus each pass's :meth:`CompilerPass.cache_token`.
+        """
+        token = tuple(
+            (
+                type(p).__module__,
+                type(p).__qualname__,
+                p.name,
+                p.cacheable,
+                p.cache_token(),
+            )
+            for p in self.passes
+        )
+        return hashlib.sha256(repr(token).encode()).hexdigest()[:16]
+
+    def __iter__(self):
+        return iter(self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:
+        return "Pipeline(" + " -> ".join(p.name for p in self.passes) + ")"
+
+
+def default_passes() -> tuple[CompilerPass, ...]:
+    """The Fig. 1 generator as a pass sequence."""
+    return (
+        ParsePass(),
+        SimplifyPass(),
+        TrainingSamplePass(),
+        EnumeratePass(),
+        CostMatrixPass(),
+        EssentialSetPass(),
+        ExpansionPass(),
+        DispatchPass(),
+    )
+
+
+def default_pipeline(observer: Optional[PassObserver] = None) -> Pipeline:
+    return Pipeline(default_passes(), observer)

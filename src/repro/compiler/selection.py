@@ -90,6 +90,61 @@ def penalty(
     return best_selected / optimal_cost(chain, sizes) - 1.0
 
 
+def flop_cost_matrix(
+    variants: Sequence[Variant],
+    instances: np.ndarray,
+    term_block: int = 4096,
+) -> np.ndarray:
+    """Batched FLOP costs: ``(num_variants, num_instances)`` in one sweep.
+
+    Every variant's cost is a sum of monomial terms
+    ``coeff * prod_s q_s^e_s``; stacking the terms of *all* variants into
+    one ``(terms, n+1)`` exponent matrix lets the whole cost matrix be
+    evaluated with a handful of numpy broadcasts (one per distinct
+    ``(symbol, exponent)`` pair — kernel costs are cubic, so at most
+    ``3 (n+1)``) instead of a Python loop per variant.  ``term_block``
+    bounds the ``(terms, instances)`` working set for long chains, whose
+    Catalan-many variants contribute tens of thousands of terms.
+    """
+    instances = np.asarray(instances, dtype=np.float64)
+    num_instances = instances.shape[0]
+    num_symbols = instances.shape[1]
+
+    coeffs: list[float] = []
+    exponents: list[np.ndarray] = []
+    owner: list[int] = []
+    for v, variant in enumerate(variants):
+        for coeff, powers in variant._flat_terms:
+            row = np.zeros(num_symbols, dtype=np.int64)
+            for sym, exp in powers:
+                row[sym] = exp
+            coeffs.append(coeff)
+            exponents.append(row)
+            owner.append(v)
+
+    costs = np.zeros((len(variants), num_instances))
+    if not coeffs:
+        return costs
+    coeff_arr = np.asarray(coeffs)
+    exp_arr = np.stack(exponents)
+    owner_arr = np.asarray(owner, dtype=np.intp)
+
+    for start in range(0, coeff_arr.shape[0], term_block):
+        stop = min(start + term_block, coeff_arr.shape[0])
+        block = np.broadcast_to(
+            coeff_arr[start:stop, None], (stop - start, num_instances)
+        ).copy()
+        for sym in range(num_symbols):
+            column = instances[:, sym]
+            for exp in np.unique(exp_arr[start:stop, sym]):
+                if exp == 0:
+                    continue
+                mask = exp_arr[start:stop, sym] == exp
+                block[mask] *= column[None, :] ** int(exp)
+        np.add.at(costs, owner_arr[start:stop], block)
+    return costs
+
+
 class CostMatrix:
     """Pre-evaluated costs of many variants on many instances.
 
@@ -115,10 +170,11 @@ class CostMatrix:
         if self.instances.ndim != 2:
             raise ValueError("instances must be a 2-D (count, n+1) array")
         if evaluator is None:
-            evaluator = lambda v, q: v.flop_cost_many(q)
-        self.costs = np.stack(
-            [evaluator(v, self.instances) for v in self.variants]
-        )
+            self.costs = flop_cost_matrix(self.variants, self.instances)
+        else:
+            self.costs = np.stack(
+                [evaluator(v, self.instances) for v in self.variants]
+            )
         self.optimal = self.costs.min(axis=0)
 
     @property

@@ -13,8 +13,16 @@ from repro.ir.chain import Chain, Instance
 from repro.ir.expression import ChainSum, ChainTerm
 from repro.ir.parser import parse_program, parse_chain, parse_expression
 from repro.ir.rewrites import simplify_chain
+from repro.ir.structural import (
+    structural_digest,
+    structural_key,
+    structurally_equal,
+)
 
 __all__ = [
+    "structural_digest",
+    "structural_key",
+    "structurally_equal",
     "Structure",
     "Property",
     "Matrix",

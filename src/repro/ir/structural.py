@@ -1,0 +1,60 @@
+"""Canonical structural keys for chains (content addressing).
+
+The generalized matrix chain algorithm treats the chain *shape* — operand
+features, unary operators, and the symbolic size-sharing pattern — as the
+unit of compilation; concrete matrix names and sizes play no role until
+dispatch.  This module canonicalizes a :class:`~repro.ir.chain.Chain` into a
+structural key that is invariant under renaming of matrices: two chains that
+are isomorphic (same features, same operators, same pattern of repeated
+matrices) produce identical keys, so their compilations are interchangeable
+once variants are rebound to the new chain.
+
+The key feeds the content-addressed compilation cache
+(:mod:`repro.compiler.cache`): structurally identical chains compile once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.chain import Chain
+
+#: Bump when the key layout changes (invalidates on-disk cache entries).
+STRUCTURAL_KEY_VERSION = 1
+
+
+def structural_key(chain: Chain) -> tuple:
+    """Canonical, hashable structural identity of a chain.
+
+    The key records, per operand, the structure, property, and unary
+    operator, plus the *sharing index*: the position of the operand's first
+    occurrence of the same underlying matrix.  Matrix names are erased, so
+    ``A * B * A`` and ``X * Y * X`` share a key while ``A * B * C`` does
+    not.  Squareness (hence the size-symbol equivalence classes that drive
+    Theorem 2 selection) is a function of the recorded features, so chains
+    with equal keys have identical equivalence classes and identical
+    variant sets up to matrix names.
+    """
+    first_seen: dict[str, int] = {}
+    entries = []
+    for i, operand in enumerate(chain):
+        share = first_seen.setdefault(operand.matrix.name, i)
+        entries.append(
+            (
+                operand.matrix.structure.name,
+                operand.matrix.prop.name,
+                operand.op.name,
+                share,
+            )
+        )
+    return (STRUCTURAL_KEY_VERSION, tuple(entries))
+
+
+def structural_digest(chain: Chain) -> str:
+    """Hex SHA-256 content address of :func:`structural_key`."""
+    return hashlib.sha256(repr(structural_key(chain)).encode()).hexdigest()
+
+
+def structurally_equal(a: Chain, b: Chain) -> bool:
+    """Whether two chains are isomorphic up to matrix renaming."""
+    return structural_key(a) == structural_key(b)

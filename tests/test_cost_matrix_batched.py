@@ -1,0 +1,82 @@
+"""The batched FLOP cost-matrix construction matches per-variant evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.selection import CostMatrix, all_variants, flop_cost_matrix
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import general_chain, make_general, make_lower, random_option_chain
+
+
+def reference_costs(variants, instances):
+    return np.stack([v.flop_cost_many(instances) for v in variants])
+
+
+class TestBatchedCostMatrix:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_matches_per_variant_evaluation(self, n, rng):
+        chain = general_chain(n)
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 64, rng)
+        batched = flop_cost_matrix(variants, instances)
+        np.testing.assert_allclose(
+            batched, reference_costs(variants, np.asarray(instances, float))
+        )
+
+    def test_matches_on_structured_chains(self, rng):
+        for _ in range(5):
+            chain = random_option_chain(5, rng, allow_transpose=True)
+            variants = all_variants(chain)
+            instances = sample_instances(chain, 40, rng)
+            np.testing.assert_allclose(
+                flop_cost_matrix(variants, instances),
+                reference_costs(variants, np.asarray(instances, float)),
+            )
+
+    def test_small_term_blocks_chunk_correctly(self, rng):
+        chain = make_general("A") * make_lower("L").inv * make_general("B")
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 16, rng)
+        full = flop_cost_matrix(variants, instances)
+        chunked = flop_cost_matrix(variants, instances, term_block=2)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_cost_matrix_default_uses_batched_path(self, rng):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 32, rng)
+        matrix = CostMatrix(variants, instances)
+        np.testing.assert_allclose(
+            matrix.costs, reference_costs(variants, matrix.instances)
+        )
+        np.testing.assert_allclose(
+            matrix.optimal, matrix.costs.min(axis=0)
+        )
+
+    def test_custom_evaluator_path_unchanged(self, rng):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 8, rng)
+        matrix = CostMatrix(
+            variants,
+            instances,
+            evaluator=lambda v, q: np.full(q.shape[0], float(len(v.steps))),
+        )
+        assert np.all(matrix.costs == len(variants[0].steps))
+
+    def test_fixup_costs_included(self, rng):
+        # An inverted final result carries fix-up terms; the batched path
+        # must charge them identically.
+        lower = make_lower("L")
+        chain = lower.inv * make_lower("K").inv
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 8, rng)
+        np.testing.assert_allclose(
+            flop_cost_matrix(variants, instances),
+            reference_costs(variants, np.asarray(instances, float)),
+        )
+
+    def test_empty_variants(self):
+        costs = flop_cost_matrix([], np.ones((5, 3)))
+        assert costs.shape == (0, 5)

@@ -1,0 +1,97 @@
+"""Structural keys: the content-address identity of chain shapes."""
+
+import pytest
+
+from repro.ir import (
+    Chain,
+    Matrix,
+    Property,
+    Structure,
+    parse_chain,
+    structural_digest,
+    structural_key,
+    structurally_equal,
+)
+
+from conftest import general_chain, make_general, make_lower, make_symmetric
+
+
+def rename(chain: Chain, prefix: str) -> Chain:
+    """The same chain with every distinct matrix renamed consistently."""
+    from repro.ir.operand import Operand
+
+    mapping: dict[str, Matrix] = {}
+    operands = []
+    for op in chain:
+        m = op.matrix
+        renamed = mapping.setdefault(
+            m.name, Matrix(f"{prefix}{len(mapping)}", m.structure, m.prop)
+        )
+        operands.append(Operand(renamed, op.op))
+    return Chain(tuple(operands))
+
+
+class TestStructuralKey:
+    def test_renamed_chain_same_key(self):
+        chain = make_general("A") * make_lower("L").inv * make_symmetric("S")
+        assert structural_key(chain) == structural_key(rename(chain, "Z"))
+        assert structurally_equal(chain, rename(chain, "Z"))
+
+    def test_key_erases_names_not_features(self):
+        a = make_general("A") * make_general("B")
+        b = make_general("X") * make_general("Y")
+        assert structural_key(a) == structural_key(b)
+
+    def test_sharing_pattern_distinguishes(self):
+        g, h = make_general("G"), make_general("H")
+        shared = g * h * g  # G appears twice
+        distinct = (
+            make_general("A") * make_general("B") * make_general("C")
+        )
+        assert structural_key(shared) != structural_key(distinct)
+        # ... but the same sharing pattern under other names matches.
+        x, y = make_general("X"), make_general("Y")
+        assert structural_key(shared) == structural_key(x * y * x)
+
+    def test_unary_op_distinguishes(self):
+        l1 = make_lower("L")
+        plain = l1 * make_general("G")
+        inverted = l1.inv * make_general("G")
+        transposed = l1.T * make_general("G")
+        keys = {
+            structural_key(plain),
+            structural_key(inverted),
+            structural_key(transposed),
+        }
+        assert len(keys) == 3
+
+    def test_features_distinguish(self):
+        sing = Matrix("M", Structure.GENERAL, Property.SINGULAR)
+        nonsing = Matrix("M", Structure.GENERAL, Property.NON_SINGULAR)
+        assert structural_key(sing * sing) != structural_key(nonsing * nonsing)
+        lower = Matrix("M", Structure.LOWER_TRIANGULAR, Property.NON_SINGULAR)
+        assert structural_key(nonsing * nonsing) != structural_key(lower * lower)
+
+    def test_length_distinguishes(self):
+        assert structural_key(general_chain(3)) != structural_key(general_chain(4))
+
+    def test_parsed_and_constructed_agree(self):
+        source = (
+            "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+            " R := A * B;"
+        )
+        assert structurally_equal(
+            parse_chain(source), make_general("P") * make_general("Q")
+        )
+
+    def test_equal_keys_imply_equal_equivalence_classes(self):
+        chain = make_general("A") * make_lower("L") * make_general("B")
+        other = rename(chain, "W")
+        assert chain.equivalence_classes() == other.equivalence_classes()
+
+    def test_digest_is_stable_hex(self):
+        chain = general_chain(4)
+        digest = structural_digest(chain)
+        assert len(digest) == 64
+        assert digest == structural_digest(rename(chain, "K"))
+        assert digest != structural_digest(general_chain(5))
