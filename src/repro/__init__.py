@@ -25,6 +25,9 @@ from repro.errors import (
     CompilationError,
     ExecutionError,
     DispatchError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceClosedError,
 )
 from repro.ir import (
     Structure,
@@ -60,7 +63,10 @@ from repro.api import (
     compile_chain,
     compile_expression,
     compile_many,
+    get_default_session,
+    set_default_session,
 )
+from repro.serve import CompileService
 
 __version__ = "1.0.0"
 
@@ -72,6 +78,9 @@ __all__ = [
     "CompilationError",
     "ExecutionError",
     "DispatchError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "Structure",
     "Property",
     "Matrix",
@@ -99,7 +108,10 @@ __all__ = [
     "compile_expression",
     "compile_many",
     "CompilerSession",
+    "CompileService",
     "GeneratedCode",
     "GeneratedExpression",
+    "get_default_session",
+    "set_default_session",
     "__version__",
 ]

@@ -11,7 +11,14 @@ Both :func:`compile_chain` and :func:`compile_expression` are thin wrappers
 over a shared :class:`~repro.compiler.session.CompilerSession`, so repeated
 compilations of structurally identical chains hit the content-addressed
 compilation cache.  Hold your own session (or use
-:func:`CompilerSession.compile_many`) for batch workloads.
+:func:`CompilerSession.compile_many`) for batch workloads, and
+:class:`repro.serve.CompileService` for concurrent serving (bounded queue,
+worker pool, request coalescing).
+
+The shared default session is created lazily under a lock
+(:func:`get_default_session`, re-exported here), so concurrent first calls
+to :func:`compile_chain` from many threads observe exactly one session and
+one cache — safe to call straight from a multi-threaded server.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import numpy as np
 
 from repro.ir.chain import Chain
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
+from repro.compiler.session import get_default_session, set_default_session
 from repro.compiler.variant import Variant
 
 
@@ -138,8 +146,6 @@ def compile_chain(
         The :class:`~repro.compiler.session.CompilerSession` to compile in;
         defaults to the shared process-wide session (and its cache).
     """
-    from repro.compiler.session import get_default_session
-
     if session is None:
         session = get_default_session()
     return session.compile(
@@ -170,8 +176,6 @@ def compile_many(
     (``expand_by``, ``objective``, ..., plus a shared ``training_instances``
     array when every chain has the same length).
     """
-    from repro.compiler.session import get_default_session
-
     if session is None:
         session = get_default_session()
     return session.compile_many(chains, **kwargs)
@@ -244,8 +248,6 @@ def compile_expression(
     A term whose chain simplifies to the identity matrix is rejected
     (:class:`ShapeError`), as for single-chain compilation.
     """
-    from repro.compiler.session import get_default_session
-
     if session is None:
         session = get_default_session()
     return session.compile_expression(expression, **kwargs)

@@ -6,8 +6,12 @@ Commands:
   :class:`~repro.compiler.session.CompilerSession` and show the selected
   variants, their symbolic costs, and (optionally) the generated C++ code;
   ``--cache-dir`` persists compilations across invocations.
-* ``cache stats`` / ``cache clear`` — inspect or empty the on-disk
-  compilation cache.
+* ``cache stats`` / ``cache clear`` / ``cache warm`` — inspect, empty, or
+  warm-validate the on-disk compilation cache.
+* ``serve`` — long-lived JSON-lines compilation service
+  (:mod:`repro.serve`): bounded queue, worker pool, request coalescing;
+  stdin/stdout by default, TCP with ``--port``; ``--stats`` prints queue
+  depth, coalesce rate, and latency percentiles on exit.
 * ``fig5`` — run Experiment A (FLOPs, paper Fig. 5) and print the summary
   statistics and eCDF samples.
 * ``fig6`` — run Experiment B (execution time, paper Fig. 6).
@@ -104,14 +108,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.compiler.cache import DiskCache
+    from repro.serve.backends import DiskBackend
 
-    disk = DiskCache(args.cache_dir)
+    disk = DiskBackend(args.cache_dir)
     if args.action == "stats":
         stats = disk.stats()
         print(f"cache directory: {stats['directory']}")
         print(f"entries:         {stats['entries']}")
         print(f"total bytes:     {stats['total_bytes']}")
+        if stats.get("pruned"):
+            print(f"pruned:          {stats['pruned']}")
         if args.verbose:
             for key in disk.keys():
                 print(f"  {key}")
@@ -120,8 +126,62 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = disk.clear()
         print(f"removed {removed} cache entries from {disk.directory}")
         return 0
+    if args.action == "warm":
+        from repro.compiler.session import CompilerSession
+
+        session = CompilerSession(cache_backend=disk)
+        warmed = session.warm(args.limit)
+        print(f"warmed {warmed} cache entries from {disk.directory}")
+        return 0
     print(f"error: unknown cache action {args.action!r}", file=sys.stderr)
     return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.compiler.session import CompilerSession
+    from repro.serve import CompileService, make_tcp_server, serve_stream
+    from repro.serve.backends import default_backend
+
+    backend = default_backend(
+        args.cache_dir,
+        max_entries=args.max_cache_entries,
+        max_bytes=args.max_cache_bytes,
+    )
+    session = CompilerSession(
+        cache_capacity=args.cache_capacity, cache_backend=backend
+    )
+    service = CompileService(
+        session,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        warm=not args.no_warm,
+    )
+    if service.warmed:
+        print(f"warmed {service.warmed} cache entries", file=sys.stderr)
+    try:
+        if args.port is not None:
+            server = make_tcp_server(service, args.host, args.port)
+            host, port = server.address
+            print(f"serving JSON-lines on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            finally:
+                server.server_close()
+        else:
+            serve_stream(
+                service,
+                sys.stdin,
+                sys.stdout,
+                max_requests=args.max_requests,
+            )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        if args.stats:
+            print(f"service: {service.metrics}", file=sys.stderr)
+            print(f"cache: {session.cache_stats()}", file=sys.stderr)
+    return 0
 
 
 def _print_ecdf(name: str, ecdf, xs) -> None:
@@ -268,8 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_compile)
 
-    p = sub.add_parser("cache", help="inspect or clear the on-disk cache")
-    p.add_argument("action", choices=["stats", "clear"])
+    p = sub.add_parser("cache", help="inspect, warm, or clear the on-disk cache")
+    p.add_argument("action", choices=["stats", "clear", "warm"])
     p.add_argument(
         "--cache-dir",
         default=_env_cache_dir(".repro-cache"),
@@ -278,7 +338,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true", help="list entry keys (stats)"
     )
+    p.add_argument(
+        "--limit", type=int, default=None, help="max entries to warm (warm)"
+    )
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="JSON-lines compilation service (stdin/stdout, or TCP with --port)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=_env_cache_dir(),
+        help="persist compilations to this directory (defaults to "
+        "$REPRO_CACHE_DIR when set, else no disk cache)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=256, help="in-memory LRU entries"
+    )
+    p.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        help="bound the disk cache to this many entries (LRU-by-mtime pruning)",
+    )
+    p.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        help="bound the disk cache to this many bytes (LRU-by-mtime pruning)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, help="worker threads (default: auto)"
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=256, help="bound on queued compilations"
+    )
+    p.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip cache warm-up on startup",
+    )
+    p.add_argument("--port", type=int, default=None, help="serve TCP on this port")
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="stdin mode: exit after this many requests",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service metrics and cache stats to stderr on exit",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("fig5", help="Experiment A: FLOPs (Fig. 5)")
     p.add_argument("--n", type=int, nargs="+", default=[5, 6, 7])

@@ -28,7 +28,10 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.backends import CacheBackend
 
 import numpy as np
 
@@ -235,31 +238,64 @@ class DiskCache:
         }
 
 
+def keys_by_recency(backend) -> list[str]:
+    """Backend keys, most recently used first.
+
+    Uses the backend's own ``keys_by_recency`` when it has one (the
+    :mod:`repro.serve.backends` implementations all do) and falls back to
+    ``keys()`` order otherwise; cache warm-up uses this to fill the LRU
+    with the hottest entries first.
+    """
+    probe = getattr(backend, "keys_by_recency", None)
+    if callable(probe):
+        return list(probe())
+    return list(backend.keys())
+
+
 # ---------------------------------------------------------------------------
 # Two-layer cache.
 # ---------------------------------------------------------------------------
 
 
 class CompilationCache:
-    """Thread-safe LRU over :class:`CacheEntry`, with disk fall-through.
+    """Thread-safe LRU over :class:`CacheEntry`, with backend fall-through.
 
-    ``get`` consults memory first, then disk (promoting disk hits into
-    memory); ``put`` writes both layers.  All counters live in
-    :class:`CacheStats`.
+    ``get`` consults memory first, then the second-layer *backend*
+    (promoting backend hits into memory); ``put`` writes both layers.  All
+    counters live in :class:`CacheStats`.
+
+    The second layer is pluggable: pass any
+    :class:`repro.serve.backends.CacheBackend` (a shared in-memory tier, a
+    bounded disk tier, a tiered composition, or your own remote store) as
+    ``backend``.  ``disk_dir`` is the PR-1 shorthand for a
+    :class:`~repro.serve.backends.DiskBackend` on that directory; for
+    backward compatibility the backend is also reachable as ``self.disk``,
+    and the ``disk_*`` stats counters cover whatever backend is installed.
     """
 
     def __init__(
         self,
         capacity: int = 128,
         disk_dir: Optional[str | os.PathLike] = None,
+        backend: Optional["CacheBackend"] = None,
     ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if backend is None and disk_dir is not None:
+            # Imported lazily: repro.serve.backends imports this module.
+            from repro.serve.backends import DiskBackend
+
+            backend = DiskBackend(disk_dir)
         self.capacity = capacity
-        self.disk = DiskCache(disk_dir) if disk_dir is not None else None
+        self.disk = backend
         self.stats = CacheStats()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
+
+    @property
+    def backend(self) -> Optional["CacheBackend"]:
+        """The second-layer storage backend (``None`` when memory-only)."""
+        return self.disk
 
     def key(
         self,
@@ -312,8 +348,54 @@ class CompilationCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def warm(self, limit: Optional[int] = None) -> int:
+        """Preload backend entries into the in-memory LRU, hottest first.
+
+        Returns the number of entries loaded.  Warm-up only fills *free*
+        LRU capacity and inserts below the live entries (each warmed entry
+        is marked less recent than everything already in memory), so
+        re-warming a busy service can never evict its hot working set in
+        favour of disk-resident cold entries.  ``limit`` caps the count
+        further; entries that fail to load (corrupt, version-mismatched,
+        concurrently pruned) are skipped and counted in
+        ``stats.disk_errors``.  Warm-up does not touch the hit/miss
+        counters — it is provisioning, not traffic.
+        """
+        if self.disk is None:
+            return 0
+        with self._lock:
+            budget = self.capacity - len(self._entries)
+        if limit is not None:
+            budget = min(limit, budget)
+        if budget <= 0:
+            return 0
+        warmed = 0
+        # Hottest-first iteration + insert-at-the-cold-end means the
+        # hottest warmed entry sits closest to (but still below) the live
+        # set, and recency among warmed entries matches the backend's.
+        for key in keys_by_recency(self.disk):
+            if warmed >= budget:
+                break
+            with self._lock:
+                if key in self._entries:
+                    continue
+            entry = self.disk.load(key)
+            if entry is None:
+                with self._lock:
+                    self.stats.disk_errors += 1
+                continue
+            with self._lock:
+                if key in self._entries:  # raced with a concurrent put
+                    continue
+                if len(self._entries) >= self.capacity:
+                    break  # concurrent traffic used up the free slots
+                self._entries[key] = entry
+                self._entries.move_to_end(key, last=False)
+            warmed += 1
+        return warmed
+
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory layer (and the disk layer when ``disk=True``)."""
+        """Drop the memory layer (and the backend layer when ``disk=True``)."""
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()

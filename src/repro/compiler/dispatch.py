@@ -55,7 +55,16 @@ class Dispatcher:
         self.cost_estimator = cost_estimator
 
     def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
-        """The best variant and its estimated cost for an instance."""
+        """The best variant and its estimated cost for an instance.
+
+        Tie-break: when several variants share the minimum estimated cost,
+        the *earliest* in ``self.variants`` order wins (strict ``<``
+        comparison never replaces an incumbent).  That order is itself
+        deterministic — Theorem 2 emits representatives in equivalence-
+        class order, and Algorithm 1 appends expansion picks after them —
+        so dispatch is stable run-to-run and process-to-process, which the
+        serving layer relies on for reproducible answers.
+        """
         q = self.chain.validate_sizes(sizes)
         best: Optional[Variant] = None
         best_cost = float("inf")

@@ -19,7 +19,10 @@ import dataclasses
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.backends import CacheBackend
 
 import numpy as np
 
@@ -50,6 +53,11 @@ class CompilerSession:
     cache_dir:
         When set, compilations also persist to this directory and survive
         process restarts.
+    cache_backend:
+        A :class:`repro.serve.backends.CacheBackend` to use as the cache's
+        second layer (e.g. a shared :class:`~repro.serve.backends.InMemoryBackend`,
+        a bounded :class:`~repro.serve.backends.DiskBackend`, or a
+        :class:`~repro.serve.backends.TieredBackend`); overrides ``cache_dir``.
     cost_estimator:
         Default dispatcher cost estimator for compiles in this session.
     options:
@@ -64,13 +72,18 @@ class CompilerSession:
         cache: Optional[CompilationCache] = None,
         cache_capacity: int = 128,
         cache_dir: Optional[str | os.PathLike] = None,
+        cache_backend: Optional["CacheBackend"] = None,
         cost_estimator: CostEstimator = flop_estimator,
         options: Optional[CompileOptions] = None,
     ):
         self.cache = (
             cache
             if cache is not None
-            else CompilationCache(capacity=cache_capacity, disk_dir=cache_dir)
+            else CompilationCache(
+                capacity=cache_capacity,
+                disk_dir=cache_dir,
+                backend=cache_backend,
+            )
         )
         self.cost_estimator = cost_estimator
         self.options = options if options is not None else CompileOptions()
@@ -166,6 +179,39 @@ class CompilerSession:
             chain, training_instances, cost_estimator, overrides
         )
         return self._finish(ctx, key, use_cache)
+
+    def prepare(
+        self,
+        chain,
+        *,
+        training_instances: Optional[np.ndarray] = None,
+        cost_estimator: Optional[CostEstimator] = None,
+        **overrides,
+    ) -> tuple[PassContext, str]:
+        """Front half of :meth:`compile`: parse + simplify + cache key.
+
+        The serving layer (:class:`repro.serve.service.CompileService`)
+        runs this cheap half inline on the caller thread to learn the
+        request's structural identity — the coalescing key — before
+        queueing the expensive half for :meth:`finish` on a worker.
+        """
+        return self._prepare(chain, training_instances, cost_estimator, overrides)
+
+    def finish(
+        self,
+        ctx: PassContext,
+        key: str,
+        *,
+        use_cache: bool = True,
+        entry: Optional[CacheEntry] = None,
+    ):
+        """Back half of :meth:`compile` for a :meth:`prepare`-d context.
+
+        With ``entry`` set, the compilation is served by rebinding that
+        entry's variants instead of a cache lookup (how the service hands
+        a coalesced follower its leader's result).
+        """
+        return self._finish(ctx, key, use_cache, entry=entry)
 
     def _prepare(
         self,
@@ -395,6 +441,16 @@ class CompilerSession:
         """A snapshot of the cache counters."""
         return dataclasses.replace(self.cache.stats)
 
+    def warm(self, limit: Optional[int] = None) -> int:
+        """Preload cache-backend entries into the in-memory LRU.
+
+        Returns the number of entries loaded (0 without a backend).  A
+        serving process calls this on startup so the first wave of traffic
+        hits memory instead of paying per-request disk deserialization;
+        ``repro cache warm`` and ``repro serve`` expose it.
+        """
+        return self.cache.warm(limit)
+
     def clear_cache(self, disk: bool = False) -> None:
         self.cache.clear(disk=disk)
 
@@ -408,8 +464,17 @@ _default_lock = threading.Lock()
 
 
 def get_default_session() -> CompilerSession:
-    """The process-wide session used by the ``compile_chain`` wrapper."""
+    """The process-wide session used by the ``compile_chain`` wrapper.
+
+    Lazy creation is guarded by a lock, so concurrent first calls (e.g. a
+    serving front end fanning requests over ``compile_chain``) observe
+    exactly one session and one cache.  The common post-creation path reads
+    the already-published session without taking the lock.
+    """
     global _default_session
+    session = _default_session
+    if session is not None:
+        return session
     with _default_lock:
         if _default_session is None:
             _default_session = CompilerSession(cache_capacity=256)

@@ -47,3 +47,15 @@ class ExecutionError(ReproError):
 
 class DispatchError(ReproError):
     """The runtime dispatcher was called with an invalid instance."""
+
+
+class ServiceError(ReproError):
+    """Base class for compilation-service (``repro.serve``) failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded request queue is full (back-pressure signal)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been shut down."""

@@ -1,0 +1,41 @@
+"""repro.serve — the compilation service layer.
+
+Turns the :class:`~repro.compiler.session.CompilerSession` into a
+long-lived concurrent server: a bounded request queue and worker pool with
+request coalescing (:mod:`repro.serve.service`), pluggable shared cache
+backends (:mod:`repro.serve.backends`), service metrics
+(:mod:`repro.serve.metrics`), and a stdlib-only JSON-lines front end
+(:mod:`repro.serve.frontend`, exposed as the ``repro serve`` CLI command).
+"""
+
+from repro.serve.backends import (
+    CacheBackend,
+    DiskBackend,
+    InMemoryBackend,
+    TieredBackend,
+    default_backend,
+)
+from repro.serve.frontend import (
+    CompileServer,
+    handle_request,
+    make_tcp_server,
+    serve_stream,
+)
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.service import CompileService, default_worker_count
+
+__all__ = [
+    "CacheBackend",
+    "DiskBackend",
+    "InMemoryBackend",
+    "TieredBackend",
+    "default_backend",
+    "CompileServer",
+    "handle_request",
+    "make_tcp_server",
+    "serve_stream",
+    "ServiceMetrics",
+    "percentile",
+    "CompileService",
+    "default_worker_count",
+]

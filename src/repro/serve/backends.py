@@ -1,0 +1,351 @@
+"""Pluggable cache storage backends shared by sessions and the service.
+
+PR 1's :class:`~repro.compiler.cache.CompilationCache` hard-wired its second
+layer to one on-disk format.  This module extracts that storage seam into a
+:class:`CacheBackend` protocol — ``load``/``store``/``keys``/``clear``/
+``stats`` over :class:`~repro.compiler.cache.CacheEntry` — with three
+implementations:
+
+* :class:`InMemoryBackend` — a thread-safe LRU dict.  Handing the *same*
+  instance to several sessions gives them a shared second-level cache
+  (the single-process analogue of a memcached tier).
+* :class:`DiskBackend` — the existing one-JSON-file-per-key layer
+  (:class:`~repro.compiler.cache.DiskCache`), now cross-process safe via an
+  advisory file lock around mutations and *bounded*: ``max_entries`` /
+  ``max_bytes`` knobs prune least-recently-used entries (by mtime, which
+  ``load`` refreshes) so a long-running service cannot grow the cache
+  directory without limit.
+* :class:`TieredBackend` — an ordered composition (e.g. shared memory in
+  front of disk) that promotes hits into the faster tiers.
+
+``CompilationCache(backend=...)`` accepts any of these (or your own object
+satisfying the protocol) in place of its default disk layer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+from repro.compiler.cache import CacheEntry, DiskCache, keys_by_recency
+
+__all__ = [
+    "CacheBackend",
+    "DiskBackend",
+    "InMemoryBackend",
+    "TieredBackend",
+    "default_backend",
+    "keys_by_recency",
+]
+
+try:  # POSIX advisory locks; absent on some platforms (e.g. Windows).
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Storage contract behind :class:`CompilationCache` and the service.
+
+    Implementations must be safe to call from multiple threads.  ``load``
+    returns ``None`` on a miss (including corrupt or version-mismatched
+    entries); ``store`` must be idempotent for identical content, because
+    concurrent compilations of the same structure race to publish the same
+    entry.
+    """
+
+    def load(self, key: str) -> Optional[CacheEntry]: ...
+
+    def store(self, key: str, entry: CacheEntry) -> None: ...
+
+    def keys(self) -> list[str]: ...
+
+    def clear(self) -> int: ...
+
+    def stats(self) -> dict[str, object]: ...
+
+
+# ---------------------------------------------------------------------------
+# In-memory backend.
+# ---------------------------------------------------------------------------
+
+
+class InMemoryBackend:
+    """A thread-safe LRU mapping of key -> :class:`CacheEntry`.
+
+    Unlike the per-session LRU inside :class:`CompilationCache`, one
+    instance can be shared by any number of sessions/services in the same
+    process, giving them a common second-level cache with one eviction
+    policy.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("backend capacity must be >= 1")
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def keys_by_recency(self) -> list[str]:
+        with self._lock:
+            return list(reversed(self._entries))
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            return removed
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "kind": "memory",
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+# ---------------------------------------------------------------------------
+# Disk backend: the PR-1 layer + inter-process locking + bounded eviction.
+# ---------------------------------------------------------------------------
+
+
+class DiskBackend(DiskCache):
+    """Cross-process-safe, bounded variant of the on-disk cache layer.
+
+    Mutations (``store``, ``clear``, pruning) serialize on an advisory
+    ``.lock`` file in the cache directory, so concurrent writers in
+    different processes cannot interleave a prune with a publish.  Reads
+    stay lock-free — entry files are published with an atomic rename, so a
+    reader sees either the whole entry or nothing.
+
+    ``max_entries`` / ``max_bytes`` bound the directory; when either limit
+    is exceeded after a store, least-recently-used entries (by mtime, which
+    :meth:`load` refreshes on every hit) are pruned until both hold.  The
+    entry just stored is never pruned, even when it alone exceeds
+    ``max_bytes`` — evicting your own publish would turn the bound into a
+    cache-disable switch.
+    """
+
+    LOCK_FILENAME = ".lock"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        super().__init__(directory)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.pruned = 0
+
+    @contextmanager
+    def _interprocess_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock scoped to the cache directory.
+
+        Degrades to a no-op where ``fcntl`` is unavailable; the atomic
+        rename in ``store`` keeps individual entries intact there, only
+        prune-vs-publish races lose precision.
+        """
+        if fcntl is None:  # pragma: no cover - platform-dependent
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.directory / self.LOCK_FILENAME, "a+") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        entry = super().load(key)
+        if entry is not None:
+            # Refresh recency for LRU-by-mtime pruning; best-effort (a
+            # concurrent prune may have unlinked the file already).
+            try:
+                os.utime(self.path_for(key))
+            except OSError:
+                pass
+        return entry
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        with self._interprocess_lock():
+            super().store(key, entry)
+            self._prune(protect=key)
+
+    def clear(self) -> int:
+        with self._interprocess_lock():
+            return super().clear()
+
+    def _entries_by_age(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) per entry, oldest first; vanished files skipped."""
+        records = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime, stat.st_size, path))
+        records.sort(key=lambda record: record[0])
+        return records
+
+    def _prune(self, protect: Optional[str] = None) -> int:
+        """Unlink oldest entries until both bounds hold (caller holds lock)."""
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        records = self._entries_by_age()
+        total_bytes = sum(size for _, size, _ in records)
+        count = len(records)
+        protected = self.path_for(protect) if protect is not None else None
+        removed = 0
+        for _, size, path in records:
+            over_entries = (
+                self.max_entries is not None and count > self.max_entries
+            )
+            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
+            if not over_entries and not over_bytes:
+                break
+            if protected is not None and path == protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            count -= 1
+            total_bytes -= size
+        self.pruned += removed
+        return removed
+
+    def keys_by_recency(self) -> list[str]:
+        return [path.stem for _, _, path in reversed(self._entries_by_age())]
+
+    def stats(self) -> dict[str, object]:
+        base = super().stats()
+        base["kind"] = "disk"
+        base["max_entries"] = self.max_entries
+        base["max_bytes"] = self.max_bytes
+        base["pruned"] = self.pruned
+        return base
+
+
+# ---------------------------------------------------------------------------
+# Tiered composition.
+# ---------------------------------------------------------------------------
+
+
+class TieredBackend:
+    """An ordered stack of backends (fastest first).
+
+    ``load`` probes tiers in order and promotes a hit into every faster
+    tier; ``store`` writes through to all tiers.  The canonical serving
+    arrangement is ``TieredBackend(shared_memory, disk)`` — one process-wide
+    :class:`InMemoryBackend` in front of a bounded :class:`DiskBackend`.
+    """
+
+    def __init__(self, *tiers: CacheBackend):
+        if not tiers:
+            raise ValueError("a tiered backend needs at least one tier")
+        self.tiers: tuple[CacheBackend, ...] = tuple(tiers)
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        for level, tier in enumerate(self.tiers):
+            entry = tier.load(key)
+            if entry is not None:
+                for faster in self.tiers[:level]:
+                    faster.store(key, entry)
+                return entry
+        return None
+
+    def store(self, key: str, entry: CacheEntry) -> None:
+        for tier in self.tiers:
+            tier.store(key, entry)
+
+    def keys(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for tier in self.tiers:
+            seen.update(dict.fromkeys(tier.keys()))
+        return list(seen)
+
+    def keys_by_recency(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for tier in self.tiers:
+            seen.update(dict.fromkeys(keys_by_recency(tier)))
+        return list(seen)
+
+    def clear(self) -> int:
+        return max(tier.clear() for tier in self.tiers)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "kind": "tiered",
+            "tiers": [tier.stats() for tier in self.tiers],
+        }
+
+
+def default_backend(
+    cache_dir: Optional[str | os.PathLike] = None,
+    *,
+    shared_memory: Optional[InMemoryBackend] = None,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> Optional[CacheBackend]:
+    """The standard serving arrangement for the given knobs.
+
+    ``None`` (no second layer) without a directory or shared memory tier; a
+    bounded :class:`DiskBackend` for a bare directory; a
+    :class:`TieredBackend` when a shared memory tier is supplied as well.
+    """
+    tiers: list[CacheBackend] = []
+    if shared_memory is not None:
+        tiers.append(shared_memory)
+    if cache_dir is not None:
+        tiers.append(
+            DiskBackend(cache_dir, max_entries=max_entries, max_bytes=max_bytes)
+        )
+    if not tiers:
+        return None
+    if len(tiers) == 1:
+        return tiers[0]
+    return TieredBackend(*tiers)

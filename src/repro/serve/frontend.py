@@ -1,0 +1,232 @@
+"""Stdlib-only JSON-lines front end for the compilation service.
+
+One request per line, one JSON response per line — a protocol thin enough
+to drive with ``echo`` + a pipe, a TCP socket, or any language's stdlib.
+
+Request schema (``id`` is optional and echoed back verbatim):
+
+``{"op": "compile", "source": "<Fig. 2 program>", "options": {...}, "id": 1}``
+    Compile a chain program.  ``options`` are the
+    :class:`~repro.compiler.pipeline.CompileOptions` knobs (``expand_by``,
+    ``num_training_instances``, ``size_range``, ``objective``, ``seed``,
+    ``simplify``).  Response carries a ``handle`` (the content address of
+    the compilation) plus the selected variant names and symbolic costs.
+
+``{"op": "dispatch", "handle": "...", "sizes": [500, 80, 500], "id": 2}``
+    Run-time dispatch for one instance: answers which variant the
+    generated dispatch function would pick, and its estimated cost.
+    ``source`` may be supplied instead of ``handle`` (compile-if-needed).
+
+``{"op": "stats", "id": 3}``
+    Service metrics (queue depth, coalesce rate, latency percentiles) and
+    session cache counters.
+
+``{"op": "warm", "id": 4}``
+    Re-run cache warm-up from the session's backend; answers the count.
+
+Responses are ``{"id": ..., "ok": true, ...}`` or
+``{"id": ..., "ok": false, "error": "...", "error_type": "..."}``.  Malformed
+JSON and unknown ops are answered in-band, never by closing the stream.
+
+:func:`serve_stream` drives the protocol over file objects (the
+``repro serve`` stdin/stdout mode); :func:`make_tcp_server` wraps it in a
+threading TCP server (``repro serve --port N``), one connection per client,
+all connections multiplexed onto one :class:`CompileService` worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import time
+from typing import IO, Optional
+
+from repro.serve.service import CompileService
+
+#: Protocol revision, reported by ``stats`` responses.
+PROTOCOL_VERSION = 1
+
+
+def _error(payload_id, message: str, exc: Optional[BaseException] = None) -> dict:
+    response = {"id": payload_id, "ok": False, "error": message}
+    if exc is not None:
+        response["error_type"] = type(exc).__name__
+    return response
+
+
+def _parse_single_chain(source: str):
+    """A Fig. 2 program's single chain (the serving unit of compilation)."""
+    from repro.errors import ParseError
+    from repro.ir.parser import parse_program
+
+    program = parse_program(source)
+    terms = program.expression.terms
+    if len(terms) > 1 or terms[0].coefficient != 1.0:
+        raise ParseError(
+            "the serve protocol compiles one chain per request; "
+            "split multi-term expressions into one request per term"
+        )
+    return program.chain
+
+
+def _handle_compile(service: CompileService, payload: dict) -> dict:
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError("'compile' needs a non-empty string 'source'")
+    options = payload.get("options") or {}
+    if not isinstance(options, dict):
+        raise ValueError("'options' must be an object")
+    if "size_range" in options and options["size_range"] is not None:
+        options["size_range"] = tuple(options["size_range"])
+    chain = _parse_single_chain(source)
+    start = time.perf_counter()
+    future = service.submit(chain, **options)
+    generated = future.result()
+    elapsed_ms = 1e3 * (time.perf_counter() - start)
+    return {
+        "ok": True,
+        "handle": getattr(future, "handle", None),
+        "chain": str(generated.chain),
+        "variants": [variant.name for variant in generated.variants],
+        "num_variants": len(generated.variants),
+        "elapsed_ms": round(elapsed_ms, 3),
+    }
+
+
+def _handle_dispatch(service: CompileService, payload: dict) -> dict:
+    sizes = payload.get("sizes")
+    if not isinstance(sizes, (list, tuple)) or not sizes:
+        raise ValueError("'dispatch' needs a non-empty 'sizes' array")
+    handle = payload.get("handle")
+    if handle is None:
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ValueError("'dispatch' needs a 'handle' or a 'source'")
+        chain = _parse_single_chain(source)
+        future = service.submit(chain)
+        future.result()
+        handle = getattr(future, "handle", None)
+    variant, cost = service.dispatch(handle, [int(s) for s in sizes])
+    return {
+        "ok": True,
+        "handle": handle,
+        "variant": variant.name,
+        "cost": float(cost),
+    }
+
+
+def handle_request(service: CompileService, payload: dict) -> dict:
+    """Answer one decoded request object (never raises)."""
+    payload_id = payload.get("id") if isinstance(payload, dict) else None
+    if not isinstance(payload, dict):
+        return _error(None, "request must be a JSON object")
+    op = payload.get("op")
+    try:
+        if op == "compile":
+            response = _handle_compile(service, payload)
+        elif op == "dispatch":
+            response = _handle_dispatch(service, payload)
+        elif op == "stats":
+            response = {
+                "ok": True,
+                "protocol_version": PROTOCOL_VERSION,
+                **service.stats(),
+            }
+        elif op == "warm":
+            response = {"ok": True, "warmed": service.session.warm()}
+        elif op == "ping":
+            response = {"ok": True, "pong": True}
+        else:
+            return _error(
+                payload_id,
+                f"unknown op {op!r}; expected compile|dispatch|stats|warm|ping",
+            )
+    except KeyError as exc:
+        return _error(payload_id, str(exc.args[0]) if exc.args else str(exc), exc)
+    except Exception as exc:
+        return _error(payload_id, str(exc), exc)
+    response["id"] = payload_id
+    return response
+
+
+def handle_line(service: CompileService, line: str) -> Optional[str]:
+    """One protocol round: request line in, response line out.
+
+    Returns ``None`` for blank lines (keep-alive friendly); malformed JSON
+    is answered with an in-band error.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        return json.dumps(_error(None, f"malformed JSON request: {exc}", exc))
+    return json.dumps(handle_request(service, payload))
+
+
+def serve_stream(
+    service: CompileService,
+    infile: IO[str],
+    outfile: IO[str],
+    *,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Serve JSON-lines over file objects until EOF; returns requests served.
+
+    Responses are flushed per line so a piped client can converse
+    interactively.  ``max_requests`` stops after that many non-blank lines
+    (used by tests and batch drivers).
+    """
+    served = 0
+    for line in infile:
+        response = handle_line(service, line)
+        if response is None:
+            continue
+        outfile.write(response + "\n")
+        outfile.flush()
+        served += 1
+        if max_requests is not None and served >= max_requests:
+            break
+    return served
+
+
+class _JsonLineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        service = self.server.compile_service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            response = handle_line(service, raw.decode("utf-8", "replace"))
+            if response is None:
+                continue
+            try:
+                self.wfile.write(response.encode() + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class CompileServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server speaking the JSON-lines protocol.
+
+    One handler thread per connection; every connection shares the single
+    :class:`CompileService` (hence its queue bound, coalescing map, cache,
+    and metrics).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: CompileService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _JsonLineHandler)
+        self.compile_service = service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+
+def make_tcp_server(
+    service: CompileService, host: str = "127.0.0.1", port: int = 0
+) -> CompileServer:
+    """Bind a :class:`CompileServer` (``port=0`` picks a free port)."""
+    return CompileServer(service, host, port)

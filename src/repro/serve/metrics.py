@@ -1,0 +1,150 @@
+"""Service counters: queue depth, coalesce rate, compile-latency percentiles.
+
+The :class:`~repro.serve.service.CompileService` records one latency sample
+per finished request (submit-to-result wall time) into a bounded sliding
+window, alongside monotonic counters for the request outcomes.  Everything
+is guarded by one lock and snapshotted as a plain dict, so the JSON-lines
+front end (``{"op": "stats"}``), ``repro serve --stats``, and the
+throughput benchmark all read the same numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100]).
+
+    Returns 0.0 for an empty sample set — the stats endpoint must answer
+    before the first compilation finishes.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + a sliding latency window for one service.
+
+    Counters
+    --------
+    ``requests``
+        Every accepted :meth:`CompileService.submit` call.
+    ``compiled``
+        Leader requests that actually ran the expensive back pipeline
+        (pipeline executions — the number bench_serve reports).
+    ``cache_hits``
+        Leader requests answered by the session cache without a pipeline
+        execution; ``compiled + cache_hits + coalesced + rejected +
+        errors`` covers the terminal outcomes (an error on a leader counts
+        only in ``errors``).
+    ``coalesced``
+        Requests attached to an identical in-flight compilation (served by
+        a rebind of the leader's result).
+    ``rejected``
+        Requests refused because the bounded queue was full.
+    ``errors``
+        Requests whose future resolved with an exception.
+    """
+
+    #: Sliding-window size for latency percentiles.
+    WINDOW = 2048
+
+    def __init__(self, window: int = WINDOW):
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.requests = 0
+        self.compiled = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.errors = 0
+        #: Callable returning the live queue depth (set by the service).
+        self.queue_depth_probe: Optional[Callable[[], int]] = None
+
+    # -- recording (called by the service) ----------------------------------
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_compiled(self) -> None:
+        with self._lock:
+            self.compiled += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of accepted requests served by coalescing."""
+        with self._lock:
+            accepted = self.requests - self.rejected
+            return self.coalesced / accepted if accepted else 0.0
+
+    def queue_depth(self) -> int:
+        probe = self.queue_depth_probe
+        return probe() if probe is not None else 0
+
+    def latency_percentile(self, p: float) -> float:
+        with self._lock:
+            samples = list(self._latencies)
+        return percentile(samples, p)
+
+    def snapshot(self) -> dict[str, float]:
+        """One consistent dict of every counter and derived rate."""
+        with self._lock:
+            samples = list(self._latencies)
+            counters = {
+                "requests": self.requests,
+                "compiled": self.compiled,
+                "cache_hits": self.cache_hits,
+                "coalesced": self.coalesced,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            }
+            accepted = self.requests - self.rejected
+            rate = self.coalesced / accepted if accepted else 0.0
+        counters["coalesce_rate"] = round(rate, 4)
+        counters["queue_depth"] = self.queue_depth()
+        counters["latency_samples"] = len(samples)
+        counters["p50_ms"] = round(1e3 * percentile(samples, 50.0), 3)
+        counters["p99_ms"] = round(1e3 * percentile(samples, 99.0), 3)
+        return counters
+
+    def __str__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"requests={snap['requests']} compiled={snap['compiled']} "
+            f"cache_hits={snap['cache_hits']} "
+            f"coalesced={snap['coalesced']} rejected={snap['rejected']} "
+            f"errors={snap['errors']} coalesce_rate={snap['coalesce_rate']:.1%} "
+            f"queue_depth={snap['queue_depth']} "
+            f"p50={snap['p50_ms']:.2f}ms p99={snap['p99_ms']:.2f}ms"
+        )

@@ -1,0 +1,381 @@
+"""The concurrent compilation service: queue + worker pool + coalescing.
+
+The paper's model (Fig. 1) is a code generator invoked once per chain
+*shape* with run-time dispatch per instance — exactly the shape of a
+long-lived service that compiles on demand and answers many callers.
+:class:`CompileService` turns a :class:`~repro.compiler.session.CompilerSession`
+into that service:
+
+* ``submit`` runs the cheap front half of compilation (parse + simplify +
+  structural key, :meth:`CompilerSession.prepare`) inline on the caller
+  thread and returns a :class:`~concurrent.futures.Future`;
+* a **bounded** request queue feeds a pool of worker threads that run the
+  expensive back half (:meth:`CompilerSession.finish`); a full queue fails
+  the future with :class:`~repro.errors.ServiceOverloadedError` instead of
+  buffering unboundedly (back-pressure, not latency collapse);
+* requests are **coalesced** on their compilation key (the
+  :mod:`repro.ir.structural` structural key + options + pipeline
+  fingerprint): while a compilation for a key is in flight, further
+  requests for the same key attach to it as *followers* and are answered
+  by rebinding the leader's result to their own chain — N concurrent
+  requests for structurally identical chains trigger exactly one pipeline
+  execution and N rebinds.
+
+Completed compilations are kept in a bounded handle registry so the
+JSON-lines front end (:mod:`repro.serve.frontend`) can answer ``dispatch``
+requests (size vector -> chosen variant) without recompiling.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.compiler.cache import CacheEntry
+from repro.compiler.dispatch import CostEstimator
+from repro.compiler.pipeline import PassContext
+from repro.compiler.session import CompilerSession
+from repro.serve.metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import GeneratedCode
+
+
+def default_worker_count() -> int:
+    """Worker-pool default: enough to overlap compilations, bounded."""
+    return max(2, min(8, (os.cpu_count() or 2)))
+
+
+@dataclass
+class _Request:
+    """One submitted compilation: its prepared context and its future."""
+
+    ctx: PassContext
+    future: Future
+    submitted: float  # perf_counter timestamp, for latency metrics
+
+
+@dataclass
+class _Inflight:
+    """A queued compilation: the leader plus coalesced followers."""
+
+    key: str
+    leader: _Request
+    followers: list[_Request] = field(default_factory=list)
+    use_cache: bool = True
+
+
+_SHUTDOWN = object()
+
+
+class CompileService:
+    """A thread-safe compile server over one :class:`CompilerSession`.
+
+    Parameters
+    ----------
+    session:
+        The session to compile in (its cache, pipeline, and option
+        defaults).  A fresh one is created when omitted.
+    workers:
+        Worker-thread count (defaults to :func:`default_worker_count`).
+    max_queue:
+        Bound on *distinct* queued compilations.  Coalesced followers ride
+        along with their leader and never occupy a slot, so the bound
+        limits compile work, not client count.
+    warm:
+        Preload the session's cache backend into the in-memory LRU on
+        startup (:meth:`CompilerSession.warm`); the count is reported in
+        :meth:`stats` as ``warmed``.
+    registry_capacity:
+        How many completed compilations to keep addressable by handle for
+        ``dispatch`` requests (LRU-bounded).
+    """
+
+    def __init__(
+        self,
+        session: Optional[CompilerSession] = None,
+        *,
+        workers: Optional[int] = None,
+        max_queue: int = 256,
+        warm: bool = True,
+        registry_capacity: int = 256,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if registry_capacity < 1:
+            raise ValueError("registry_capacity must be >= 1")
+        self.session = session if session is not None else CompilerSession(cache_capacity=256)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.warmed = self.session.warm() if warm else 0
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self.metrics.queue_depth_probe = self._queue.qsize
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Inflight] = {}
+        self._registry: OrderedDict[str, "GeneratedCode"] = OrderedDict()
+        self._registry_capacity = registry_capacity
+        self._closed = False
+        count = workers if workers is not None else default_worker_count()
+        if count < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(count)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        chain,
+        *,
+        training_instances: Optional[np.ndarray] = None,
+        cost_estimator: Optional[CostEstimator] = None,
+        use_cache: bool = True,
+        **overrides,
+    ) -> Future:
+        """Queue one compilation; returns a future of ``GeneratedCode``.
+
+        The keyword knobs match :meth:`CompilerSession.compile`.  The
+        future fails with :class:`ServiceOverloadedError` when the bounded
+        queue is full and with the original compilation error otherwise;
+        parse/validation errors surface through the future too, so callers
+        handle one failure channel.
+        """
+        future: Future = Future()
+        self.metrics.record_request()
+        if self._closed:  # fast path; the authoritative check is under _lock
+            self._fail(future, ServiceClosedError("service is closed"))
+            return future
+        try:
+            ctx, key = self.session.prepare(
+                chain,
+                training_instances=training_instances,
+                cost_estimator=cost_estimator,
+                **overrides,
+            )
+        except Exception as exc:
+            self.metrics.record_error()
+            self._fail(future, exc)
+            return future
+        request = _Request(ctx=ctx, future=future, submitted=time.perf_counter())
+        # The registry address of this compilation, for later `dispatch`
+        # requests (None for private, uncached compilations).
+        future.handle = key if use_cache else None  # type: ignore[attr-defined]
+        if not use_cache:
+            # Uncacheable requests cannot be coalesced (each caller asked
+            # for a private compilation); they still share the queue bound.
+            record = _Inflight(key="", leader=request, use_cache=False)
+            with self._lock:
+                outcome = self._admit(record)
+        else:
+            with self._lock:
+                # Re-check closed under the lock: close() flips the flag
+                # under this same lock *before* enqueueing the worker
+                # shutdown sentinels, so anything admitted here is ordered
+                # ahead of the sentinels and is guaranteed to be drained —
+                # no future can be parked on an unserviced queue.
+                if self._closed:
+                    outcome = "closed"
+                else:
+                    inflight = self._inflight.get(key)
+                    if inflight is not None:
+                        inflight.followers.append(request)
+                        self.metrics.record_coalesced()
+                        return future
+                    record = _Inflight(key=key, leader=request)
+                    outcome = self._admit(record)
+                    if outcome == "ok":
+                        self._inflight[key] = record
+        if outcome == "closed":
+            self._fail(future, ServiceClosedError("service is closed"))
+        elif outcome == "full":
+            self.metrics.record_rejected()
+            self._fail(
+                future,
+                ServiceOverloadedError(
+                    f"compile queue is full ({self._queue.maxsize} pending)"
+                ),
+            )
+        return future
+
+    def compile(self, chain, *, timeout: Optional[float] = None, **overrides):
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(chain, **overrides).result(timeout=timeout)
+
+    def map(self, chains: Sequence, *, timeout: Optional[float] = None, **overrides) -> list:
+        """Submit a batch and wait; results match the input order."""
+        futures = [self.submit(chain, **overrides) for chain in chains]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # -- dispatch registry ---------------------------------------------------
+
+    def lookup(self, handle: str) -> Optional["GeneratedCode"]:
+        """The completed compilation registered under ``handle``, if any."""
+        with self._lock:
+            generated = self._registry.get(handle)
+            if generated is not None:
+                self._registry.move_to_end(handle)
+            return generated
+
+    def dispatch(self, handle: str, sizes: Sequence[int]):
+        """Select the best variant for an instance of a compiled handle.
+
+        Returns ``(variant, cost)``; raises :class:`KeyError` for an
+        unknown (or registry-evicted) handle.
+        """
+        generated = self.lookup(handle)
+        if generated is None:
+            raise KeyError(f"unknown compilation handle {handle!r}")
+        return generated.select(sizes)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Service metrics + session cache counters, JSON-ready."""
+        with self._lock:
+            registry_entries = len(self._registry)
+            inflight = len(self._inflight)
+        return {
+            "service": self.metrics.snapshot(),
+            "cache": self.session.cache_stats().as_dict(),
+            "warmed": self.warmed,
+            "workers": len(self._workers),
+            "inflight": inflight,
+            "registry_entries": registry_entries,
+        }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue; join the workers.
+
+        Already-queued compilations complete (their futures resolve);
+        subsequent ``submit`` calls fail with :class:`ServiceClosedError`.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                workers: list[threading.Thread] = []
+            else:
+                # Setting the flag under the submit lock, before the
+                # sentinels go in, guarantees every admitted record
+                # precedes the sentinels in the queue (see submit()).
+                self._closed = True
+                workers = list(self._workers)
+        for _ in workers:
+            self._queue.put(_SHUTDOWN)  # blocks until a slot frees: workers drain
+        if wait:
+            for worker in workers:
+                worker.join()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker internals ----------------------------------------------------
+
+    def _admit(self, record: _Inflight) -> str:
+        """Enqueue under the caller-held lock: 'ok' | 'full' | 'closed'."""
+        if self._closed:
+            return "closed"
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            return "full"
+        return "ok"
+
+    def _worker_loop(self) -> None:
+        while True:
+            record = self._queue.get()
+            try:
+                if record is _SHUTDOWN:
+                    return
+                self._process(record)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, record: _Inflight) -> None:
+        use_cache = record.use_cache
+        leader = record.leader
+        try:
+            generated = self.session.finish(
+                leader.ctx, record.key, use_cache=use_cache
+            )
+        except Exception as exc:
+            followers = self._finalize(record)
+            self.metrics.record_error()
+            self._fail(leader.future, exc)
+            for follower in followers:
+                self.metrics.record_error()
+                self._fail(follower.future, exc)
+            return
+        # De-register *before* completing: once the future resolves, a new
+        # request for the same key must start (or cache-hit) a fresh
+        # compilation rather than attach to a finished record.
+        followers = self._finalize(record)
+        if leader.ctx.cache_hit:
+            self.metrics.record_cache_hit()
+        else:
+            self.metrics.record_compiled()
+        if use_cache:
+            self._register(record.key, generated)
+        self._complete(leader, generated)
+        if not followers:
+            return
+        entry = CacheEntry(
+            chain=generated.chain,
+            variants=tuple(generated.variants),
+            training_instances=generated.training_instances,
+        )
+        for follower in followers:
+            try:
+                rebound = self.session.finish(
+                    follower.ctx, record.key, entry=entry
+                )
+            except Exception as exc:
+                self.metrics.record_error()
+                self._fail(follower.future, exc)
+            else:
+                self._complete(follower, rebound)
+
+    def _finalize(self, record: _Inflight) -> list[_Request]:
+        """Drop the in-flight registration; returns the coalesced followers."""
+        with self._lock:
+            if record.key:
+                self._inflight.pop(record.key, None)
+            return list(record.followers)
+
+    def _register(self, handle: str, generated: "GeneratedCode") -> None:
+        with self._lock:
+            self._registry[handle] = generated
+            self._registry.move_to_end(handle)
+            while len(self._registry) > self._registry_capacity:
+                self._registry.popitem(last=False)
+
+    def _complete(self, request: _Request, generated: "GeneratedCode") -> None:
+        self.metrics.record_latency(time.perf_counter() - request.submitted)
+        try:
+            request.future.set_result(generated)
+        except InvalidStateError:  # pragma: no cover - cancelled future
+            pass
+
+    @staticmethod
+    def _fail(future: Future, exc: BaseException) -> None:
+        try:
+            future.set_exception(exc)
+        except InvalidStateError:  # pragma: no cover - cancelled future
+            pass

@@ -1,0 +1,139 @@
+"""CLI surface of the serving layer: `repro serve`, `repro cache warm`."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = (
+    "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+    " R := A * B;"
+)
+
+
+def run_serve(monkeypatch, capsys, requests, extra_args=()):
+    """Drive `repro serve` in stdin/stdout mode; returns (responses, err)."""
+    stdin = io.StringIO(
+        "".join(json.dumps(request) + "\n" for request in requests)
+    )
+    monkeypatch.setattr("sys.stdin", stdin)
+    assert main(["serve", "--workers", "2", *extra_args]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(line) for line in captured.out.splitlines()]
+    return responses, captured.err
+
+
+class TestServeCommand:
+    def test_compile_dispatch_stats_round_trip(self, monkeypatch, capsys):
+        responses, _ = run_serve(
+            monkeypatch,
+            capsys,
+            [
+                # Default options on both: the dispatch-by-source
+                # re-submission must land on the same cache key.
+                {"op": "compile", "source": SOURCE, "id": 1},
+                {"op": "dispatch", "source": SOURCE, "sizes": [4, 5, 6],
+                 "id": 2},
+                {"op": "stats", "id": 3},
+            ],
+        )
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["variant"] in responses[0]["variants"]
+        # The dispatch-by-source re-submission was served by the session
+        # cache (a hit), not by a second pipeline execution.
+        assert responses[2]["service"]["requests"] == 2
+        assert responses[2]["service"]["compiled"] == 1
+        assert responses[2]["service"]["cache_hits"] == 1
+        assert responses[2]["cache"]["misses"] == 1
+        assert responses[2]["cache"]["hits"] == 1
+
+    def test_stats_flag_prints_metrics_to_stderr(self, monkeypatch, capsys):
+        _, err = run_serve(
+            monkeypatch,
+            capsys,
+            [{"op": "compile", "source": SOURCE,
+              "options": {"num_training_instances": 20}}],
+            extra_args=["--stats"],
+        )
+        assert "service:" in err and "coalesce_rate" in err
+        assert "cache:" in err
+
+    def test_max_requests_limits_the_stream(self, monkeypatch, capsys):
+        responses, _ = run_serve(
+            monkeypatch,
+            capsys,
+            [{"op": "ping"} for _ in range(5)],
+            extra_args=["--max-requests", "2"],
+        )
+        assert len(responses) == 2
+
+    def test_serve_with_cache_dir_warms_on_start(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        main(["compile", "--source", SOURCE, "--train", "20",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        responses, err = run_serve(
+            monkeypatch,
+            capsys,
+            [
+                {"op": "compile", "source": SOURCE,
+                 "options": {"num_training_instances": 20}, "id": 1},
+                {"op": "stats", "id": 2},
+            ],
+            extra_args=["--cache-dir", cache_dir],
+        )
+        assert "warmed 1 cache entries" in err
+        assert responses[0]["ok"]
+        assert responses[1]["warmed"] == 1
+        # Warmed into memory: the compile is a pure memory hit.
+        assert responses[1]["cache"]["hits"] == 1
+        assert responses[1]["cache"]["disk_hits"] == 0
+
+    def test_serve_errors_stay_in_band(self, monkeypatch, capsys):
+        responses, _ = run_serve(
+            monkeypatch,
+            capsys,
+            [
+                {"op": "compile", "source": "garbage", "id": 1},
+                {"op": "nope", "id": 2},
+            ],
+        )
+        assert [r["ok"] for r in responses] == [False, False]
+
+
+class TestCacheWarmCommand:
+    def test_cache_warm_reports_count(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["compile", "--source", SOURCE, "--train", "20",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "warm", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 1 cache entries" in out
+
+    def test_cache_warm_limit(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        second = (
+            "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+            " Matrix C <General, Singular>; R := A * B * C;"
+        )
+        main(["compile", "--source", SOURCE, "--train", "20",
+              "--cache-dir", cache_dir])
+        main(["compile", "--source", second, "--train", "20",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "warm", "--cache-dir", cache_dir,
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 1 cache entries" in out
+
+    def test_cache_warm_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "warm", "--cache-dir",
+                     str(tmp_path / "nothing")]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 0 cache entries" in out

@@ -30,6 +30,49 @@ class TestSelection:
         right_first, _ = dispatcher.select((100, 2, 3, 2))
         assert left_first.signature() != right_first.signature()
 
+    def test_equal_cost_tie_breaks_to_earliest_variant(self):
+        """Documented tie-break: strict `<` keeps the first-listed variant.
+
+        The selected-variant order is deterministic (Theorem 2 class order,
+        then expansion appends), so under a cost tie the dispatcher's pick
+        is stable run-to-run — the serving layer relies on this for
+        reproducible dispatch answers.
+        """
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        assert len(variants) >= 2
+
+        def constant_estimator(variant, sizes):
+            return 42.0  # every variant ties
+
+        forward = Dispatcher(chain, variants, cost_estimator=constant_estimator)
+        reversed_order = Dispatcher(
+            chain, list(reversed(variants)), cost_estimator=constant_estimator
+        )
+        q = (4, 5, 6, 7)
+        picked, cost = forward.select(q)
+        assert cost == 42.0
+        assert picked.signature() == variants[0].signature()
+        # The tie-break follows the variant order, not anything hidden.
+        other, _ = reversed_order.select(q)
+        assert other.signature() == variants[-1].signature()
+        # Stable across repeated calls.
+        assert all(
+            forward.select(q)[0].signature() == picked.signature()
+            for _ in range(10)
+        )
+
+    def test_tie_break_under_real_cost_tie(self):
+        """A symmetric instance where both parenthesizations cost the same."""
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (10, 10, 10, 10)  # square chain: (AB)C and A(BC) tie exactly
+        costs = [flop_estimator(v, q) for v in variants]
+        assert costs[0] == costs[1]  # the tie is real
+        picked, _ = dispatcher.select(q)
+        assert picked.signature() == variants[0].signature()
+
     def test_costs_listing(self):
         chain = general_chain(3)
         dispatcher = Dispatcher(chain, all_variants(chain))

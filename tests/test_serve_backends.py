@@ -1,0 +1,375 @@
+"""Cache backends: protocol, shared memory, locked/bounded disk, tiering."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler.cache import (
+    CacheEntry,
+    CompilationCache,
+    compilation_key,
+)
+from repro.compiler.pipeline import CompileOptions
+from repro.compiler.selection import essential_set
+from repro.compiler.session import CompilerSession
+from repro.experiments.sampling import sample_instances
+from repro.serve.backends import (
+    CacheBackend,
+    DiskBackend,
+    InMemoryBackend,
+    TieredBackend,
+    default_backend,
+    keys_by_recency,
+)
+
+from conftest import general_chain
+
+
+def compiled_entry(chain, count=20, seed=0):
+    rng = np.random.default_rng(seed)
+    train = sample_instances(chain, count, rng)
+    variants = essential_set(chain, training_instances=train)
+    return CacheEntry(
+        chain=chain, variants=tuple(variants), training_instances=train
+    )
+
+
+def entry_and_key(n=3, **options):
+    entry = compiled_entry(general_chain(n))
+    return entry, compilation_key(entry.chain, CompileOptions(**options))
+
+
+class TestProtocol:
+    def test_bundled_backends_satisfy_protocol(self, tmp_path):
+        assert isinstance(InMemoryBackend(), CacheBackend)
+        assert isinstance(DiskBackend(tmp_path), CacheBackend)
+        assert isinstance(
+            TieredBackend(InMemoryBackend(), DiskBackend(tmp_path)), CacheBackend
+        )
+
+    def test_custom_object_backend_works_in_compilation_cache(self):
+        class DictBackend:
+            def __init__(self):
+                self.data = {}
+
+            def load(self, key):
+                return self.data.get(key)
+
+            def store(self, key, entry):
+                self.data[key] = entry
+
+            def keys(self):
+                return list(self.data)
+
+            def clear(self):
+                removed = len(self.data)
+                self.data.clear()
+                return removed
+
+            def stats(self):
+                return {"kind": "dict", "entries": len(self.data)}
+
+        backend = DictBackend()
+        cache = CompilationCache(capacity=1, backend=backend)
+        entry3, key3 = entry_and_key(3)
+        entry4, key4 = entry_and_key(4)
+        cache.put(key3, entry3)
+        cache.put(key4, entry4)  # evicts key3 from memory, not from backend
+        assert key3 not in cache
+        assert cache.get(key3) is not None  # served by the backend
+        assert cache.stats.disk_hits == 1
+
+
+class TestInMemoryBackend:
+    def test_lru_eviction_and_recency(self):
+        backend = InMemoryBackend(capacity=2)
+        entries = {n: entry_and_key(n) for n in (2, 3, 4)}
+        backend.store(entries[2][1], entries[2][0])
+        backend.store(entries[3][1], entries[3][0])
+        backend.load(entries[2][1])  # refresh n=2
+        backend.store(entries[4][1], entries[4][0])  # evicts n=3
+        assert backend.load(entries[3][1]) is None
+        assert backend.load(entries[2][1]) is not None
+        assert backend.evictions == 1
+        assert backend.stats()["entries"] == 2
+        assert backend.keys_by_recency()[0] == entries[2][1]
+
+    def test_shared_across_sessions(self):
+        """Two sessions with one InMemoryBackend share compilations."""
+        shared = InMemoryBackend(capacity=16)
+        first = CompilerSession(cache_backend=shared)
+        second = CompilerSession(cache_backend=shared)
+        chain = general_chain(4)
+        first.compile(chain, num_training_instances=20)
+        second.compile(chain, num_training_instances=20)
+        # The second session never ran the expensive passes: its *backend*
+        # hit (counted like a disk hit) replaced them.
+        assert second.cache_stats().disk_hits == 1
+        assert "enumerate" in second.last_context.skipped
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            InMemoryBackend(capacity=0)
+
+
+class TestDiskBackend:
+    def test_round_trip_and_recency_refresh(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        entry, key = entry_and_key(3)
+        backend.store(key, entry)
+        loaded = backend.load(key)
+        assert loaded is not None
+        assert [v.signature() for v in loaded.variants] == [
+            v.signature() for v in entry.variants
+        ]
+
+    def test_max_entries_prunes_oldest_by_mtime(self, tmp_path):
+        backend = DiskBackend(tmp_path, max_entries=2)
+        keys = []
+        for n in (2, 3, 4):
+            entry, key = entry_and_key(n)
+            backend.store(key, entry)
+            keys.append(key)
+            now = time.time()
+            # Deterministic mtime spacing (filesystem clocks are coarse).
+            os.utime(backend.path_for(key), (now + n, now + n))
+        assert backend.load(keys[0]) is None  # oldest pruned
+        assert backend.load(keys[1]) is not None
+        assert backend.load(keys[2]) is not None
+        assert backend.pruned == 1
+        assert backend.stats()["entries"] == 2
+        assert backend.stats()["max_entries"] == 2
+
+    def test_load_refreshes_mtime_for_lru(self, tmp_path):
+        backend = DiskBackend(tmp_path, max_entries=2)
+        keys = []
+        base = time.time() - 1000
+        for i, n in enumerate((2, 3)):
+            entry, key = entry_and_key(n)
+            backend.store(key, entry)
+            os.utime(backend.path_for(key), (base + i, base + i))
+            keys.append(key)
+        assert backend.load(keys[0]) is not None  # refreshes to "now"
+        entry4, key4 = entry_and_key(4)
+        backend.store(key4, entry4)
+        assert backend.load(keys[1]) is None  # n=3 was the LRU entry
+        assert backend.load(keys[0]) is not None
+
+    def test_max_bytes_prunes_but_protects_last_store(self, tmp_path):
+        probe = DiskBackend(tmp_path / "probe")
+        entry, key = entry_and_key(3)
+        probe.store(key, entry)
+        entry_bytes = probe.path_for(key).stat().st_size
+
+        backend = DiskBackend(tmp_path / "real", max_bytes=entry_bytes)
+        keys = []
+        for n in (3, 4):
+            e, k = entry_and_key(n)
+            backend.store(k, e)
+            now = time.time()
+            os.utime(backend.path_for(k), (now + n, now + n))
+            keys.append(k)
+        # Budget fits ~one n=3 entry: storing n=4 (larger) pruned n=3, and
+        # the just-stored entry survives even though it alone exceeds the
+        # budget (protecting the freshest publish).
+        assert backend.load(keys[0]) is None
+        assert backend.load(keys[1]) is not None
+        assert backend.pruned >= 1
+
+    def test_bound_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskBackend(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            DiskBackend(tmp_path, max_bytes=0)
+
+    def test_lock_file_not_counted_as_entry(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        entry, key = entry_and_key(3)
+        backend.store(key, entry)
+        assert (tmp_path / DiskBackend.LOCK_FILENAME).exists()
+        assert backend.stats()["entries"] == 1
+        assert backend.keys() == [key]
+        assert backend.clear() == 1
+
+    def test_concurrent_writers_from_processes(self, tmp_path):
+        """Two real processes storing + pruning concurrently stay consistent."""
+        import subprocess
+        import sys
+        import textwrap
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = textwrap.dedent(
+            """
+            import sys
+            sys.path.insert(0, {src!r})
+            from repro.compiler.cache import compilation_key
+            from repro.compiler.pipeline import CompileOptions
+            from repro.compiler.session import CompilerSession
+            from repro.serve.backends import DiskBackend
+            from repro.ir.chain import Chain
+            from repro.ir.matrix import Matrix
+
+            seed = int(sys.argv[1])
+            backend = DiskBackend({cache_dir!r}, max_entries=3)
+            session = CompilerSession(cache_backend=backend)
+            for n in (2, 3, 4, 5):
+                chain = Chain(tuple(
+                    Matrix(f"P{{seed}}_{{n}}_{{i}}").as_operand()
+                    for i in range(n)
+                ))
+                session.compile(chain, num_training_instances=15)
+            print(session.cache_stats().disk_errors)
+            """
+        ).format(src=src_dir, cache_dir=str(tmp_path))
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(i)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "0"  # no disk write errors in either process
+        backend = DiskBackend(tmp_path, max_entries=3)
+        assert backend.stats()["entries"] <= 3
+        # Every surviving entry is loadable (no torn writes).
+        for key in backend.keys():
+            assert backend.load(key) is not None
+
+
+class TestTieredBackend:
+    def test_load_promotes_into_faster_tiers(self, tmp_path):
+        memory = InMemoryBackend(capacity=8)
+        disk = DiskBackend(tmp_path)
+        tiered = TieredBackend(memory, disk)
+        entry, key = entry_and_key(3)
+        disk.store(key, entry)  # only on the slow tier
+        assert key not in memory
+        assert tiered.load(key) is not None
+        assert key in memory  # promoted
+
+    def test_store_writes_through_all_tiers(self, tmp_path):
+        memory = InMemoryBackend(capacity=8)
+        disk = DiskBackend(tmp_path)
+        tiered = TieredBackend(memory, disk)
+        entry, key = entry_and_key(3)
+        tiered.store(key, entry)
+        assert memory.load(key) is not None
+        assert disk.load(key) is not None
+        assert tiered.keys() == [key]
+        assert tiered.stats()["tiers"][0]["kind"] == "memory"
+        assert tiered.clear() == 1
+        assert tiered.load(key) is None
+
+    def test_session_with_tiered_backend_survives_memory_clear(self, tmp_path):
+        backend = TieredBackend(InMemoryBackend(capacity=8), DiskBackend(tmp_path))
+        session = CompilerSession(cache_backend=backend)
+        chain = general_chain(4)
+        session.compile(chain, num_training_instances=20)
+        fresh = CompilerSession(
+            cache_backend=TieredBackend(
+                InMemoryBackend(capacity=8), DiskBackend(tmp_path)
+            )
+        )
+        fresh.compile(chain, num_training_instances=20)
+        assert fresh.cache_stats().disk_hits == 1
+        assert "enumerate" in fresh.last_context.skipped
+
+    def test_empty_tier_list_rejected(self):
+        with pytest.raises(ValueError):
+            TieredBackend()
+
+
+class TestDefaultBackend:
+    def test_arrangements(self, tmp_path):
+        assert default_backend() is None
+        disk_only = default_backend(tmp_path)
+        assert isinstance(disk_only, DiskBackend)
+        shared = InMemoryBackend()
+        assert default_backend(shared_memory=shared) is shared
+        tiered = default_backend(tmp_path, shared_memory=shared, max_entries=5)
+        assert isinstance(tiered, TieredBackend)
+        assert tiered.tiers[0] is shared
+        assert tiered.tiers[1].max_entries == 5
+
+
+class TestWarmup:
+    def test_session_warm_preloads_memory_lru(self, tmp_path):
+        chain = general_chain(4)
+        CompilerSession(cache_dir=tmp_path).compile(
+            chain, num_training_instances=20
+        )
+        fresh = CompilerSession(cache_dir=tmp_path)
+        assert fresh.warm() == 1
+        # The warmed entry is a *memory* hit: no disk access on the compile.
+        fresh.compile(chain, num_training_instances=20)
+        stats = fresh.cache_stats()
+        assert stats.hits == 1 and stats.disk_hits == 0
+        assert "enumerate" in fresh.last_context.skipped
+
+    def test_warm_respects_limit_and_capacity(self, tmp_path):
+        seeder = CompilerSession(cache_dir=tmp_path)
+        for n in (2, 3, 4, 5):
+            seeder.compile(general_chain(n), num_training_instances=15)
+        assert CompilerSession(cache_dir=tmp_path).warm(limit=2) == 2
+        tiny = CompilerSession(cache_dir=tmp_path, cache_capacity=3)
+        assert tiny.warm() == 3  # capped by the LRU capacity
+        assert CompilerSession(cache_dir=tmp_path).warm() == 4
+
+    def test_warm_prefers_hottest_entries(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        seeder = CompilerSession(cache_backend=backend)
+        keys = {}
+        for n in (2, 3, 4):
+            seeder.compile(general_chain(n), num_training_instances=15)
+        base = time.time() - 100
+        for age, key in enumerate(sorted(backend.keys())):
+            os.utime(backend.path_for(key), (base + age, base + age))
+            keys[age] = key
+        hottest = keys_by_recency(backend)[0]
+        warm_session = CompilerSession(cache_backend=backend, cache_capacity=1)
+        assert warm_session.warm() == 1
+        assert hottest in warm_session.cache
+
+    def test_warm_without_backend_is_zero(self):
+        assert CompilerSession().warm() == 0
+
+    def test_warm_skips_corrupt_entries(self, tmp_path):
+        session = CompilerSession(cache_dir=tmp_path)
+        session.compile(general_chain(3), num_training_instances=15)
+        (tmp_path / "corrupt.json").write_text("{not json")
+        fresh = CompilerSession(cache_dir=tmp_path)
+        assert fresh.warm() == 1
+        assert fresh.cache_stats().disk_errors == 1
+
+    def test_warm_never_evicts_the_live_working_set(self, tmp_path):
+        """Re-warming a busy session must not displace hot memory entries."""
+        seeder = CompilerSession(cache_dir=tmp_path)
+        for n in (2, 3, 4, 5):
+            seeder.compile(general_chain(n), num_training_instances=15)
+
+        live = CompilerSession(cache_dir=tmp_path, cache_capacity=2)
+        live.compile(general_chain(6), num_training_instances=15)  # hot entry
+        assert live.warm() == 1  # only one free slot to fill
+        # The hot entry survived, and the next compile of it is a pure
+        # memory hit (warm inserted *below* it, not on top of it).
+        live.compile(general_chain(6), num_training_instances=15)
+        assert live.cache_stats().hits == 1
+        assert live.cache_stats().evictions == 0
+        # A full cache warms nothing at all.
+        assert live.warm() == 0
+
+    def test_warm_is_idempotent(self, tmp_path):
+        session = CompilerSession(cache_dir=tmp_path)
+        session.compile(general_chain(3), num_training_instances=15)
+        fresh = CompilerSession(cache_dir=tmp_path)
+        assert fresh.warm() == 1
+        assert fresh.warm() == 0  # already in memory

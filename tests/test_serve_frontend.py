@@ -1,0 +1,214 @@
+"""JSON-lines front end: request handling, streams, and the TCP server."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import CompileService, make_tcp_server
+from repro.serve.frontend import handle_line, handle_request, serve_stream
+
+SOURCE_AB = (
+    "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;"
+)
+SOURCE_ABC = (
+    "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+    "Matrix C <General, Singular>; R := A * B * C;"
+)
+
+
+@pytest.fixture
+def service():
+    service = CompileService(workers=2, warm=False)
+    yield service
+    service.close()
+
+
+class TestHandleRequest:
+    def test_compile_round_trip(self, service):
+        response = handle_request(
+            service,
+            {
+                "op": "compile",
+                "source": SOURCE_ABC,
+                "options": {"num_training_instances": 25},
+                "id": 7,
+            },
+        )
+        assert response["ok"] is True
+        assert response["id"] == 7
+        assert response["num_variants"] >= 1
+        assert response["handle"]
+        assert response["elapsed_ms"] >= 0
+
+    def test_compile_options_are_honoured(self, service):
+        base = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 25}},
+        )
+        expanded = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 25, "expand_by": 1}},
+        )
+        # Different options -> different content address (and no false
+        # cache hit); the variant set can only grow under expansion.
+        assert expanded["handle"] != base["handle"]
+        assert expanded["num_variants"] >= base["num_variants"]
+        assert service.session.cache_stats().misses == 2
+
+    def test_dispatch_by_handle(self, service):
+        compiled = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 25}},
+        )
+        response = handle_request(
+            service,
+            {"op": "dispatch", "handle": compiled["handle"],
+             "sizes": [10, 200, 5, 100], "id": "d1"},
+        )
+        assert response["ok"] is True
+        assert response["id"] == "d1"
+        assert response["variant"] in compiled["variants"]
+        assert response["cost"] > 0
+
+    def test_dispatch_compile_if_needed(self, service):
+        response = handle_request(
+            service,
+            {"op": "dispatch", "source": SOURCE_AB, "sizes": [4, 5, 6]},
+        )
+        assert response["ok"] is True
+        assert response["handle"]
+        assert service.metrics.compiled == 1
+
+    def test_dispatch_unknown_handle(self, service):
+        response = handle_request(
+            service, {"op": "dispatch", "handle": "nope", "sizes": [2, 3, 4]}
+        )
+        assert response["ok"] is False
+        assert "unknown compilation handle" in response["error"]
+
+    def test_stats_and_ping_and_warm(self, service):
+        handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_AB,
+             "options": {"num_training_instances": 20}},
+        )
+        stats = handle_request(service, {"op": "stats", "id": 3})
+        assert stats["ok"] is True
+        assert stats["protocol_version"] == 1
+        assert stats["service"]["requests"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert handle_request(service, {"op": "ping"})["pong"] is True
+        warmed = handle_request(service, {"op": "warm"})
+        assert warmed["ok"] is True and warmed["warmed"] == 0
+
+    def test_parse_error_is_reported_in_band(self, service):
+        response = handle_request(
+            service, {"op": "compile", "source": "this is not a program", "id": 1}
+        )
+        assert response["ok"] is False
+        assert response["id"] == 1
+        assert response["error_type"] == "ParseError"
+
+    def test_unknown_option_is_reported_in_band(self, service):
+        response = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_AB,
+             "options": {"exapnd_by": 1}},
+        )
+        assert response["ok"] is False
+        assert "unknown compile option" in response["error"]
+
+    def test_multi_term_expression_rejected(self, service):
+        source = "Matrix A <General, Singular>; R := A + 2 * A;"
+        response = handle_request(service, {"op": "compile", "source": source})
+        assert response["ok"] is False
+        assert "one chain per request" in response["error"]
+
+    def test_unknown_op_and_malformed_shapes(self, service):
+        assert handle_request(service, {"op": "frobnicate"})["ok"] is False
+        assert handle_request(service, {"op": "compile"})["ok"] is False
+        assert (
+            handle_request(service, {"op": "compile", "source": SOURCE_AB,
+                                     "options": [1, 2]})["ok"] is False
+        )
+        assert handle_request(service, {"op": "dispatch", "sizes": []})["ok"] is False
+        assert handle_request(service, {"op": "dispatch", "sizes": [2, 3]})["ok"] is False
+
+
+class TestStream:
+    def test_serve_stream_end_to_end(self, service):
+        requests = [
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 25}, "id": 1},
+            {"op": "stats", "id": 2},
+        ]
+        infile = io.StringIO(
+            "\n".join(json.dumps(r) for r in requests) + "\n\n"
+        )
+        outfile = io.StringIO()
+        served = serve_stream(service, infile, outfile)
+        assert served == 2
+        lines = [json.loads(l) for l in outfile.getvalue().splitlines()]
+        assert [l["id"] for l in lines] == [1, 2]
+        assert lines[0]["ok"] and lines[1]["ok"]
+
+    def test_serve_stream_max_requests(self, service):
+        infile = io.StringIO('{"op": "ping"}\n' * 5)
+        outfile = io.StringIO()
+        assert serve_stream(service, infile, outfile, max_requests=2) == 2
+        assert len(outfile.getvalue().splitlines()) == 2
+
+    def test_malformed_json_answered_in_band(self, service):
+        assert handle_line(service, "   ") is None
+        response = json.loads(handle_line(service, "{broken"))
+        assert response["ok"] is False
+        assert "malformed JSON" in response["error"]
+
+    def test_non_object_request(self, service):
+        response = json.loads(handle_line(service, "[1, 2, 3]"))
+        assert response["ok"] is False
+        assert "JSON object" in response["error"]
+
+
+class TestTcpServer:
+    def test_two_clients_share_one_service(self, service):
+        server = make_tcp_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+
+            def roundtrip(payloads):
+                with socket.create_connection((host, port), timeout=10) as conn:
+                    handle = conn.makefile("rw", encoding="utf-8")
+                    responses = []
+                    for payload in payloads:
+                        handle.write(json.dumps(payload) + "\n")
+                        handle.flush()
+                        responses.append(json.loads(handle.readline()))
+                    return responses
+
+            first = roundtrip([
+                {"op": "compile", "source": SOURCE_ABC,
+                 "options": {"num_training_instances": 25}, "id": 1},
+            ])
+            second = roundtrip([
+                {"op": "compile", "source": SOURCE_ABC.replace("A", "X"),
+                 "options": {"num_training_instances": 25}, "id": 2},
+                {"op": "stats", "id": 3},
+            ])
+            assert first[0]["ok"] and second[0]["ok"]
+            # Same structure from a different connection: same handle
+            # (content address), served by the shared session cache.
+            assert second[0]["handle"] == first[0]["handle"]
+            assert second[1]["cache"]["hits"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

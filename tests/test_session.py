@@ -363,6 +363,85 @@ class TestExpressionAndWrappers:
         assert ctx.cost_matrix is None
         assert ctx.training_instances is None
 
+    def test_default_session_creation_is_thread_safe(self, monkeypatch):
+        """Concurrent first calls build exactly one shared session.
+
+        Without the lock in ``get_default_session``, N threads racing the
+        lazy initialisation could each build (and partially use) their own
+        session, splitting the cache.
+        """
+        import threading
+
+        from repro.compiler import session as session_mod
+
+        created = []
+        real_init = CompilerSession.__init__
+
+        def counting_init(self, **kwargs):
+            created.append(self)
+            real_init(self, **kwargs)
+
+        monkeypatch.setattr(CompilerSession, "__init__", counting_init)
+        set_default_session(None)
+        try:
+            barrier = threading.Barrier(16)
+            observed = []
+
+            def first_call():
+                barrier.wait()
+                observed.append(session_mod.get_default_session())
+
+            threads = [threading.Thread(target=first_call) for _ in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(observed) == 16
+            assert len({id(s) for s in observed}) == 1
+            assert len(created) == 1
+        finally:
+            set_default_session(None)
+
+    def test_concurrent_compile_chain_shares_one_cache(self):
+        """compile_chain from many threads: one session, one compilation."""
+        import threading
+
+        set_default_session(None)
+        try:
+            chain = general_chain(3)
+            barrier = threading.Barrier(8)
+            results = []
+
+            def compile_one():
+                barrier.wait()
+                results.append(compile_chain(chain, num_training_instances=20))
+
+            threads = [threading.Thread(target=compile_one) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(results) == 8
+            stats = get_default_session().cache_stats()
+            # All eight went through one shared cache (the racing threads
+            # may each miss before the first put lands, but the session —
+            # and therefore the counter totals — is shared).
+            assert stats.lookups == 8
+            signatures = {
+                tuple(v.signature() for v in r.variants) for r in results
+            }
+            assert len(signatures) == 1
+        finally:
+            set_default_session(None)
+
+    def test_api_reexports_default_session_accessors(self):
+        import repro
+        from repro import api
+
+        assert api.get_default_session is get_default_session
+        assert repro.get_default_session is get_default_session
+        assert repro.set_default_session is set_default_session
+
     def test_compile_chain_uses_default_session(self):
         set_default_session(None)
         try:
