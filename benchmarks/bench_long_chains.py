@@ -1,0 +1,115 @@
+"""Long-chain compilation through the DP-seeded variant space.
+
+The acceptance bar of the variant-space layer: an n=16 chain —
+Catalan(15) ≈ 9.7M parenthesizations, hopeless to enumerate eagerly — must
+compile through :class:`~repro.compiler.variant_space.DPSeededSpace` (the
+``auto`` resolution for long chains) in well under
+:data:`CEILING_SECONDS`, and the selected dispatch set must stay within a
+measured penalty bound of the per-instance DP optimum on held-out
+instances.  CI runs this file and fails on either regression — a ceiling
+breach is the signature of eager Catalan enumeration sneaking back into
+the pipeline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler.dp import dp_optimal_cost
+from repro.compiler.parenthesization import catalan
+from repro.compiler.session import CompilerSession
+from repro.experiments.sampling import sample_instances, sample_shapes
+
+from conftest import emit
+
+TRAIN = 300
+HELD_OUT = 25
+
+#: Wall-clock ceiling for one cold n=16 compile.  Measured ~0.5 s on a CI
+#: runner; the 20x headroom absorbs machine noise but not a Catalan blowup.
+CEILING_SECONDS = 10.0
+
+#: Bounds on dispatched-cost / DP-optimal-cost over held-out instances
+#: (measured: avg ≈ 1.02, max ≈ 1.08 across n = 16..20).
+AVG_RATIO_BOUND = 1.25
+MAX_RATIO_BOUND = 1.75
+
+
+def long_chain(n: int):
+    """A reproducible feature-rich chain of ``n`` matrices."""
+    rng = np.random.default_rng(2026 + n)
+    return sample_shapes(n, 1, rng, rectangular_probability=0.3)[0]
+
+
+def compile_cold(chain):
+    """One cold compile: fresh session, auto space (DP-seeded for long n)."""
+    return CompilerSession().compile(chain, num_training_instances=TRAIN)
+
+
+def held_out_ratios(chain, generated, count: int = HELD_OUT) -> np.ndarray:
+    """Dispatched cost over DP-optimal cost on fresh validation instances."""
+    rng = np.random.default_rng(7 * chain.n + 1)
+    instances = sample_instances(chain, count, rng)
+    ratios = []
+    for q in instances:
+        sizes = [int(s) for s in q]
+        _, cost = generated.select(sizes)
+        ratios.append(cost / dp_optimal_cost(chain, sizes))
+    return np.asarray(ratios)
+
+
+@pytest.mark.parametrize("n", (16, 18, 20))
+def test_long_chain_compile(benchmark, n):
+    """Cold-compile latency for chains far past the Catalan wall."""
+    chain = long_chain(n)
+    generated = benchmark.pedantic(compile_cold, args=(chain,), rounds=3, iterations=1)
+    benchmark.extra_info["catalan_variants"] = catalan(n - 1)
+    benchmark.extra_info["selected_variants"] = len(generated.variants)
+    assert len(generated.variants) >= 1
+
+
+def test_n16_under_ceiling_with_quality_bound():
+    """The acceptance assertion: n=16 compiles in seconds, near-optimally.
+
+    Runs as a plain test (no --benchmark-only) so CI always enforces it.
+    """
+    chain = long_chain(16)
+    start = time.perf_counter()
+    generated = compile_cold(chain)
+    elapsed = time.perf_counter() - start
+    ratios = held_out_ratios(chain, generated)
+    emit(
+        "Long-chain compilation (n=16, DP-seeded variant space)",
+        "\n".join(
+            [
+                f"parenthesizations (eager): {catalan(15)}",
+                f"compile wall time:         {elapsed:.3f} s (ceiling {CEILING_SECONDS} s)",
+                f"selected variants:         {len(generated.variants)}",
+                f"held-out avg ratio vs DP:  {ratios.mean():.4f} (bound {AVG_RATIO_BOUND})",
+                f"held-out max ratio vs DP:  {ratios.max():.4f} (bound {MAX_RATIO_BOUND})",
+            ]
+        ),
+    )
+    assert elapsed < CEILING_SECONDS, (
+        f"n=16 compile took {elapsed:.1f}s (ceiling {CEILING_SECONDS}s) — "
+        "did eager Catalan enumeration sneak back in?"
+    )
+    assert ratios.mean() <= AVG_RATIO_BOUND
+    assert ratios.max() <= MAX_RATIO_BOUND
+
+
+def test_n20_compiles_and_stays_near_optimal():
+    """The previously-impossible regime: n=20, Catalan(19) ≈ 1.77e9."""
+    chain = long_chain(20)
+    start = time.perf_counter()
+    generated = compile_cold(chain)
+    elapsed = time.perf_counter() - start
+    ratios = held_out_ratios(chain, generated)
+    emit(
+        "Long-chain compilation (n=20, DP-seeded variant space)",
+        f"compile {elapsed:.3f} s, avg ratio {ratios.mean():.4f}, "
+        f"max ratio {ratios.max():.4f}",
+    )
+    assert elapsed < 3 * CEILING_SECONDS
+    assert ratios.mean() <= AVG_RATIO_BOUND

@@ -117,6 +117,8 @@ def compile_chain(
     cost_estimator: Optional[CostEstimator] = None,
     seed: Optional[int] = None,
     simplify: Optional[bool] = None,
+    variant_space: Optional[str] = None,
+    max_variants: Optional[int] = None,
     use_cache: bool = True,
     session: Optional["CompilerSession"] = None,
 ) -> GeneratedCode:
@@ -142,6 +144,16 @@ def compile_chain(
     cost_estimator:
         The cost function the run-time dispatcher uses (FLOPs by default;
         plug in a performance-model estimator for time-based dispatch).
+    variant_space:
+        Candidate-generation strategy: ``"exhaustive"`` (every
+        parenthesization — the paper's set ``A``), ``"dp"`` (DP-seeded
+        sparse pool, tractable for long chains), or ``"auto"`` (the
+        default: exhaustive up to
+        :data:`~repro.compiler.variant_space.AUTO_EXHAUSTIVE_MAX_N`
+        matrices, DP-seeded beyond).
+    max_variants:
+        Bound on the candidate pool; fanning-out variants are never
+        evicted.  ``None`` defers to the space's own default.
     session:
         The :class:`~repro.compiler.session.CompilerSession` to compile in;
         defaults to the shared process-wide session (and its cache).
@@ -159,6 +171,8 @@ def compile_chain(
         objective=objective,
         seed=seed,
         simplify=simplify,
+        variant_space=variant_space,
+        max_variants=max_variants,
     )
 
 

@@ -5,7 +5,9 @@ Commands:
 * ``compile`` — compile a program in the Fig. 2 input language through a
   :class:`~repro.compiler.session.CompilerSession` and show the selected
   variants, their symbolic costs, and (optionally) the generated C++ code;
-  ``--cache-dir`` persists compilations across invocations.
+  ``--cache-dir`` persists compilations across invocations;
+  ``--variant-space``/``--max-variants`` pick the candidate-generation
+  strategy (the DP-seeded space scales compilation to long chains).
 * ``cache stats`` / ``cache clear`` / ``cache warm`` — inspect, empty, or
   warm-validate the on-disk compilation cache.
 * ``serve`` — long-lived JSON-lines compilation service
@@ -81,6 +83,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             expand_by=args.expand,
             num_training_instances=args.train,
             seed=args.seed,
+            variant_space=args.variant_space,
+            max_variants=args.max_variants,
         )
         print(generated.describe())
         if args.cpp:
@@ -95,6 +99,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         expand_by=args.expand,
         num_training_instances=args.train,
         seed=args.seed,
+        variant_space=args.variant_space,
+        max_variants=args.max_variants,
     )
     print(generated.describe())
     print()
@@ -312,6 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expand", type=int, default=0, help="extra variants (Alg. 1)")
     p.add_argument("--train", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--variant-space",
+        choices=["auto", "exhaustive", "dp"],
+        default=None,
+        help="candidate generation: exhaustive enumeration, DP-seeded "
+        "sparse pool (scales to long chains), or auto by chain length "
+        "(default: the session's own default, i.e. auto)",
+    )
+    p.add_argument(
+        "--max-variants",
+        type=int,
+        default=None,
+        help="bound the candidate pool (fanning-out variants always kept)",
+    )
     p.add_argument("--cpp", action="store_true", help="emit generated C++")
     p.add_argument("--function-name", default="evaluate_chain")
     p.add_argument(

@@ -13,7 +13,11 @@ Modules:
 * :mod:`repro.compiler.expansion` — the greedy ExpandSet procedure
   (Algorithm 1, §VI).
 * :mod:`repro.compiler.dp` — the generalized matrix chain dynamic program
-  for concrete sizes (the Linnea-style optimal search used as baseline).
+  for concrete sizes (the Linnea-style optimal search used as baseline,
+  and the seed generator of the DP-seeded variant space).
+* :mod:`repro.compiler.variant_space` — pluggable candidate generation:
+  exhaustive Catalan enumeration for small chains, lazy DP-seeded pools
+  that scale compilation to long chains (§III-B beyond n ≈ 12).
 * :mod:`repro.compiler.dispatch` — the runtime variant dispatcher (Fig. 1).
 * :mod:`repro.compiler.executor` — executes a variant on concrete NumPy
   matrices through the kernel reference implementations.
@@ -28,10 +32,12 @@ Modules:
 from repro.compiler.parenthesization import (
     ParenTree,
     enumerate_trees,
+    iter_trees,
     left_to_right_tree,
     right_to_left_tree,
     fanning_out_tree,
     linearize,
+    rotations,
 )
 from repro.compiler.variant import Variant, build_variant
 from repro.compiler.selection import (
@@ -45,7 +51,21 @@ from repro.compiler.selection import (
 from repro.compiler.expansion import expand_set, AveragePenalty, MaxPenalty
 from repro.compiler.dispatch import Dispatcher
 from repro.compiler.executor import execute_variant, random_instance_arrays
-from repro.compiler.dp import dp_optimal_cost, dp_optimal_plan
+from repro.compiler.dp import (
+    dp_optimal_cost,
+    dp_optimal_plan,
+    dp_optimal_tree,
+    dp_plan_variants,
+    dp_seed_trees,
+)
+from repro.compiler.variant_space import (
+    AUTO_EXHAUSTIVE_MAX_N,
+    DPSeededSpace,
+    ExhaustiveSpace,
+    VariantSpace,
+    make_space,
+    resolve_space,
+)
 from repro.compiler.memory import MemoryPlan, peak_workspace_bytes, plan_memory
 from repro.compiler.validation import (
     VariantVerificationError,
@@ -80,10 +100,12 @@ __all__ = [
     "set_default_session",
     "ParenTree",
     "enumerate_trees",
+    "iter_trees",
     "left_to_right_tree",
     "right_to_left_tree",
     "fanning_out_tree",
     "linearize",
+    "rotations",
     "Variant",
     "build_variant",
     "all_variants",
@@ -100,6 +122,15 @@ __all__ = [
     "random_instance_arrays",
     "dp_optimal_cost",
     "dp_optimal_plan",
+    "dp_optimal_tree",
+    "dp_plan_variants",
+    "dp_seed_trees",
+    "AUTO_EXHAUSTIVE_MAX_N",
+    "DPSeededSpace",
+    "ExhaustiveSpace",
+    "VariantSpace",
+    "make_space",
+    "resolve_space",
     "MemoryPlan",
     "peak_workspace_bytes",
     "plan_memory",

@@ -28,13 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.ir.chain import Chain
+from repro.compiler.parenthesization import ParenTree, join, leaf
 from repro.compiler.states import OperandState, associate, initial_states
 from repro.compiler.variant import (
     Step,
     Variant,
     _build_fixups,
     _make_same_class,
+    build_variant,
 )
 
 
@@ -107,6 +111,20 @@ def _fixup_cost(state: OperandState, q: Sequence[int]) -> float:
     return total
 
 
+def _best_final_key(
+    table: dict[tuple[int, int], dict[tuple, _Entry]],
+    chain: Chain,
+    q: Sequence[int],
+) -> tuple:
+    """The state key of the cheapest root entry, fix-ups included."""
+    final_entries = table[(0, chain.n - 1)]
+    return min(
+        final_entries,
+        key=lambda key: final_entries[key].cost
+        + _fixup_cost(final_entries[key].state, q),
+    )
+
+
 def dp_optimal_cost(chain: Chain, sizes: Sequence[int]) -> float:
     """Minimum FLOP cost to evaluate ``chain`` on the concrete ``sizes``.
 
@@ -140,18 +158,10 @@ def dp_optimal_plan(chain: Chain, sizes: Sequence[int]) -> Variant:
     states = initial_states(chain)
 
     if chain.n == 1:
-        from repro.compiler.parenthesization import leaf
-        from repro.compiler.variant import build_variant
-
         return build_variant(chain, leaf(0), name="DP")
 
     table = _dp_table(chain, q)
-    final_entries = table[(0, chain.n - 1)]
-    best_key = min(
-        final_entries,
-        key=lambda key: final_entries[key].cost
-        + _fixup_cost(final_entries[key].state, q),
-    )
+    best_key = _best_final_key(table, chain, q)
 
     steps: list[Step] = []
 
@@ -192,3 +202,78 @@ def dp_optimal_plan(chain: Chain, sizes: Sequence[int]) -> Variant:
         final_state=final_state,
         name="DP",
     )
+
+
+def dp_optimal_tree(chain: Chain, sizes: Sequence[int]) -> ParenTree:
+    """The parenthesization underlying the DP-optimal plan for an instance.
+
+    Reconstructs only the *split structure* of the winning plan — the
+    :class:`ParenTree` whose Section IV variant approximates (and often
+    matches) the DP optimum on these sizes.  This is the extraction the
+    DP-seeded variant space uses: a tree can join the ordinary variant pool
+    (built, perturbed, deduplicated, cached) whereas the raw DP plan cannot
+    leave the per-parenthesization space ``A`` the selection theory is
+    stated over.
+    """
+    q = chain.validate_sizes(sizes)
+    if chain.n == 1:
+        return leaf(0)
+    table = _dp_table(chain, q)
+
+    def rebuild(i: int, j: int, key: tuple) -> ParenTree:
+        entry = table[(i, j)][key]
+        if entry.back is None:
+            return leaf(i)
+        split, left_key, right_key = entry.back
+        return join(
+            rebuild(i, split, left_key), rebuild(split + 1, j, right_key)
+        )
+
+    return rebuild(0, chain.n - 1, _best_final_key(table, chain, q))
+
+
+def dp_seed_trees(
+    chain: Chain, instances: np.ndarray, max_seeds: Optional[int] = None
+) -> list[ParenTree]:
+    """Distinct DP-optimal parenthesizations over a set of instances.
+
+    Runs :func:`dp_optimal_tree` on up to ``max_seeds`` rows of
+    ``instances`` (evenly spaced, so the seeds span the sampled size
+    distribution deterministically) and deduplicates the resulting trees.
+    The order is first-appearance, so earlier (more representative) seeds
+    survive a downstream candidate cap.
+    """
+    from repro.compiler.selection import _tree_key
+
+    instances = np.asarray(instances)
+    count = instances.shape[0]
+    if count == 0:
+        return []
+    if max_seeds is not None and 0 < max_seeds < count:
+        rows = np.unique(np.linspace(0, count - 1, max_seeds).astype(int))
+    else:
+        rows = np.arange(count)
+    trees: list[ParenTree] = []
+    seen: set = set()
+    for row in rows:
+        tree = dp_optimal_tree(chain, [int(s) for s in instances[row]])
+        key = _tree_key(tree)
+        if key not in seen:
+            seen.add(key)
+            trees.append(tree)
+    return trees
+
+
+def dp_plan_variants(
+    chain: Chain, instances: np.ndarray, max_plans: Optional[int] = None
+) -> list[Variant]:
+    """Per-sample DP plan extraction as ordinary variants (named ``D0..``).
+
+    One Section IV variant per *distinct* DP-optimal parenthesization over
+    the instance rows; see :func:`dp_seed_trees` for the sampling and
+    deduplication rules.
+    """
+    return [
+        build_variant(chain, tree, name=f"D{i}")
+        for i, tree in enumerate(dp_seed_trees(chain, instances, max_plans))
+    ]

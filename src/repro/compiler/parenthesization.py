@@ -101,6 +101,55 @@ def enumerate_trees(n: int) -> tuple[ParenTree, ...]:
     return _enumerate_span(0, n - 1)
 
 
+def _iter_span(lo: int, hi: int) -> Iterator[ParenTree]:
+    if lo == hi:
+        yield leaf(lo)
+        return
+    for split in range(lo, hi):
+        for left in _iter_span(lo, split):
+            for right in _iter_span(split + 1, hi):
+                yield join(left, right)
+
+
+def iter_trees(n: int) -> Iterator[ParenTree]:
+    """Lazily yield the ``C_{n-1}`` parenthesizations, one at a time.
+
+    Unlike :func:`enumerate_trees`, nothing is memoized or materialized, so
+    taking the first ``k`` trees of a long chain costs ``O(k n)`` rather
+    than Catalan-many allocations — the enabler for bounded enumeration in
+    :class:`repro.compiler.variant_space.ExhaustiveSpace`.  The yield order
+    matches :func:`enumerate_trees` (splits in increasing order).
+    """
+    if n < 1:
+        raise ValueError("a chain needs at least one matrix")
+    yield from _iter_span(0, n - 1)
+
+
+def rotations(tree: ParenTree) -> Iterator[ParenTree]:
+    """All trees one rotation away from ``tree`` (its split neighborhood).
+
+    A rotation at an internal node moves that node's split point to the
+    split of one of its internal children — the minimal structural
+    perturbation under which the set of parenthesizations is connected (any
+    tree reaches any other through rotations).  A tree over ``n`` leaves has
+    at most ``2 (n - 2)`` rotation neighbors; duplicates are not filtered
+    (callers deduplicate by tree key).
+    """
+    if tree.is_leaf:
+        return
+    assert tree.left is not None and tree.right is not None
+    # Rotate at the root: (A B) C -> A (B C)  and  A (B C) -> (A B) C.
+    if not tree.left.is_leaf:
+        yield join(tree.left.left, join(tree.left.right, tree.right))
+    if not tree.right.is_leaf:
+        yield join(join(tree.left, tree.right.left), tree.right.right)
+    # Recurse: a rotation anywhere in a subtree, other subtree unchanged.
+    for rotated in rotations(tree.left):
+        yield join(rotated, tree.right)
+    for rotated in rotations(tree.right):
+        yield join(tree.left, rotated)
+
+
 def catalan(k: int) -> int:
     """The k-th Catalan number ``(2k)! / (k! (k+1)!)``."""
     result = 1

@@ -1,9 +1,11 @@
 """Pass-based compilation pipeline (the staged generator of Fig. 1).
 
 The generator runs a fixed conceptual sequence — parse, simplify, sample a
-training set, enumerate parenthesizations, build the cost matrix, select the
-essential set per Theorem 2, greedily expand per Algorithm 1, build the
-dispatcher.  This module makes each stage an explicit, named
+training set, generate the candidate variant pool (through a pluggable
+:mod:`~repro.compiler.variant_space` strategy: exhaustive Catalan
+enumeration for small chains, DP-seeded sparse generation for long ones),
+build the cost matrix, select the essential set per Theorem 2, greedily
+expand per Algorithm 1, build the dispatcher.  This module makes each stage an explicit, named
 :class:`CompilerPass` over a shared :class:`PassContext`, so stages can be
 skipped, swapped, or instrumented, and so the compilation cache can bypass
 exactly the expensive middle of the pipeline (everything between
@@ -20,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -28,8 +30,11 @@ from repro.errors import CompilationError
 from repro.ir.chain import Chain
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
 from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
-from repro.compiler.selection import CostMatrix, all_variants, essential_set
+from repro.compiler.selection import CostMatrix, essential_set
 from repro.compiler.variant import Variant
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.variant_space import VariantSpace
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,17 @@ class CompileOptions:
     objective: str = "avg"
     seed: int = 0
     simplify: bool = True
+    #: Candidate-generation strategy of the ``enumerate`` stage:
+    #: ``"exhaustive"`` (all Catalan-many parenthesizations, the paper's
+    #: set ``A``), ``"dp"`` (DP-seeded sparse pool for long chains), or
+    #: ``"auto"`` (exhaustive up to
+    #: :data:`~repro.compiler.variant_space.AUTO_EXHAUSTIVE_MAX_N`
+    #: matrices, DP-seeded beyond).  See :mod:`repro.compiler.variant_space`.
+    variant_space: str = "auto"
+    #: Bound on the candidate pool (``None`` = the space's own default:
+    #: unbounded for exhaustive, 512 for DP-seeded).  Fanning-out variants
+    #: are never evicted by the bound.
+    max_variants: Optional[int] = None
     #: Digest of an explicitly supplied training set (None when sampled).
     training_fingerprint: Optional[str] = None
 
@@ -56,6 +72,23 @@ class CompileOptions:
         if self.objective not in ("avg", "max"):
             raise CompilationError(
                 f"objective must be 'avg' or 'max', got {self.objective!r}"
+            )
+        from repro.compiler.variant_space import SPACE_NAMES
+
+        if self.variant_space not in SPACE_NAMES:
+            raise CompilationError(
+                f"variant_space must be one of {SPACE_NAMES}, "
+                f"got {self.variant_space!r}"
+            )
+        if self.max_variants is not None and self.max_variants < 1:
+            raise CompilationError(
+                f"max_variants must be >= 1, got {self.max_variants!r}"
+            )
+        if self.num_training_instances < 1:
+            raise CompilationError(
+                "num_training_instances must be >= 1, got "
+                f"{self.num_training_instances!r} (selection needs at least "
+                "one instance to score against)"
             )
 
     def cache_token(self) -> tuple:
@@ -80,6 +113,13 @@ class CompileOptions:
             self.simplify,
             self.training_fingerprint,
             sampling,
+            # The variant-space knobs shape the candidate pool and hence
+            # the selected set: sessions differing only here must not
+            # share entries.  The raw strings are keyed (``"auto"`` is not
+            # resolved); the structural key fixes the chain length, so one
+            # token can never cover two different resolutions.
+            self.variant_space,
+            self.max_variants,
         )
 
 
@@ -209,6 +249,14 @@ class TrainingSamplePass(CompilerPass):
 
         if ctx.training_instances is not None:
             ctx.training_instances = np.asarray(ctx.training_instances)
+            if ctx.training_instances.shape[0] == 0:
+                # A well-shaped empty array would flow through the cost
+                # matrix only to make every selection objective undefined
+                # (means/maxima over zero instances); fail here with the
+                # cause instead.
+                raise CompilationError(
+                    "training_instances must contain at least one instance"
+                )
             return
         chain = ctx.require("chain")
         rng = np.random.default_rng(ctx.options.seed)
@@ -219,21 +267,48 @@ class TrainingSamplePass(CompilerPass):
 
 
 class EnumeratePass(CompilerPass):
-    """Enumerate the full variant set A (one per parenthesization)."""
+    """Generate the candidate variant pool through a variant space.
+
+    The strategy comes from ``options.variant_space`` (resolved per chain —
+    ``"auto"`` switches from exhaustive to DP-seeded on long chains), or
+    from an explicit :class:`~repro.compiler.variant_space.VariantSpace`
+    instance pinned at pass construction, which wins over the options and
+    is keyed into the pipeline fingerprint instead.
+    """
 
     name = "enumerate"
     cacheable = True
 
+    def __init__(self, space: Optional["VariantSpace"] = None):
+        self.space = space
+
     def run(self, ctx: PassContext) -> None:
+        from repro.compiler.variant_space import resolve_space
+
         chain = ctx.require("chain")
         if chain.n == 1:
             ctx.variants = [_single_variant(chain)]
-        else:
-            ctx.variants = all_variants(chain)
+            return
+        space = (
+            self.space
+            if self.space is not None
+            else resolve_space(ctx.options, chain)
+        )
+        ctx.variants = space.generate(chain, ctx.training_instances)
+
+    def cache_token(self) -> tuple:
+        if self.space is None:
+            return ()  # options-driven: keyed via CompileOptions.cache_token
+        return (type(self.space).__qualname__, self.space.cache_token())
 
 
 class CostMatrixPass(CompilerPass):
-    """Pre-evaluate every variant on every training instance (batched)."""
+    """Pre-evaluate every pool variant on every training instance (batched).
+
+    The matrix's per-instance minimum is the penalty baseline: the true
+    optimum over ``A`` under the exhaustive space, a DP-anchored upper
+    bound under sparse spaces.
+    """
 
     name = "cost-matrix"
     cacheable = True
@@ -248,7 +323,11 @@ class CostMatrixPass(CompilerPass):
 
 
 class EssentialSetPass(CompilerPass):
-    """Theorem 2: one fanning-out representative per equivalence class."""
+    """Theorem 2: one fanning-out representative per equivalence class.
+
+    Works on whatever pool the variant space generated — every space
+    guarantees the fanning-out candidates are present in the cost matrix.
+    """
 
     name = "select"
     cacheable = True

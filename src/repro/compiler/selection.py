@@ -46,23 +46,34 @@ def left_to_right_variant(chain: Chain) -> Variant:
     return build_variant(chain, left_to_right_tree(chain.n), name="L")
 
 
-def fanning_out_variants(chain: Chain) -> dict[int, Variant]:
-    """The distinct fanning-out variants ``E_h`` keyed by ``h``.
+def distinct_fanning_trees(chain: Chain) -> dict[int, "ParenTree"]:
+    """The distinct fanning-out trees ``E_h`` keyed by ``h``.
 
     Duplicate parenthesizations (which occur for ``n <= 3``) are dropped,
     keeping the smallest ``h``; the result has ``n - 1`` members for
-    ``n <= 3`` and ``n + 1`` members otherwise.
+    ``n <= 3`` and ``n + 1`` members otherwise.  The single source of the
+    collapse rule — both the variant construction below and the variant
+    spaces build their fanning candidates from it.
     """
-    seen: dict[object, int] = {}
-    variants: dict[int, Variant] = {}
+    trees: dict[int, "ParenTree"] = {}
+    seen: set = set()
     for h in range(chain.n + 1):
         tree = fanning_out_tree(chain.n, h)
         key = _tree_key(tree)
         if key in seen:
             continue
-        seen[key] = h
-        variants[h] = build_variant(chain, tree, name=f"E{h}")
-    return variants
+        seen.add(key)
+        trees[h] = tree
+    return trees
+
+
+def fanning_out_variants(chain: Chain) -> dict[int, Variant]:
+    """The distinct fanning-out variants ``E_h`` keyed by ``h``
+    (see :func:`distinct_fanning_trees` for the dedupe rule)."""
+    return {
+        h: build_variant(chain, tree, name=f"E{h}")
+        for h, tree in distinct_fanning_trees(chain).items()
+    }
 
 
 def _tree_key(tree) -> object:
@@ -107,8 +118,18 @@ def flop_cost_matrix(
     Catalan-many variants contribute tens of thousands of terms.
     """
     instances = np.asarray(instances, dtype=np.float64)
+    if instances.ndim != 2:
+        raise ValueError(
+            f"instances must be a 2-D (count, n+1) array, got shape "
+            f"{instances.shape}"
+        )
     num_instances = instances.shape[0]
     num_symbols = instances.shape[1]
+    if num_instances == 0 or not len(variants):
+        # Degenerate inputs short-circuit to a well-shaped empty matrix:
+        # the broadcast-and-accumulate sweep below assumes at least one
+        # column to broadcast against and at least one owner row.
+        return np.zeros((len(variants), num_instances))
 
     coeffs: list[float] = []
     exponents: list[np.ndarray] = []
@@ -215,9 +236,11 @@ def essential_set(
     fanning-out trees collapse) are skipped, which is why ``|E_s|`` can be
     smaller than the number of classes.
 
-    ``cost_matrix`` must cover *all* variants of the chain (the set ``A``)
-    so that penalties are measured against the true optimum; if omitted, it
-    is built from ``training_instances``.
+    ``cost_matrix`` must cover every fanning-out variant of the chain (any
+    :mod:`~repro.compiler.variant_space` pool qualifies; the exhaustive set
+    ``A`` additionally makes the penalties exact, measured against the true
+    optimum).  If omitted, it is built over ``A`` from
+    ``training_instances``.
     """
     if cost_matrix is None:
         if training_instances is None:
@@ -229,6 +252,16 @@ def essential_set(
         h: build_variant(chain, fanning_out_tree(chain.n, h), name=f"E{h}")
         for h in range(chain.n + 1)
     }
+    missing = sorted(
+        h
+        for h, candidate in candidates_by_h.items()
+        if candidate.signature() not in sig_to_idx
+    )
+    if missing:
+        raise ValueError(
+            f"cost matrix is missing the fanning-out variants E_h for "
+            f"h in {missing}; every variant space must include them"
+        )
     score = (
         cost_matrix.average_penalty if objective == "avg" else cost_matrix.max_penalty
     )

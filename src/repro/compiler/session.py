@@ -173,7 +173,8 @@ class CompilerSession:
 
         Keyword overrides are the fields of :class:`CompileOptions`
         (``expand_by``, ``num_training_instances``, ``size_range``,
-        ``objective``, ``seed``, ``simplify``).
+        ``objective``, ``seed``, ``simplify``, ``variant_space``,
+        ``max_variants``).
         """
         ctx, key = self._prepare(
             chain, training_instances, cost_estimator, overrides

@@ -1,0 +1,265 @@
+"""Pluggable candidate-variant generation (the compiler's scaling layer).
+
+The pipeline's ``enumerate`` stage used to mean one thing: build *every*
+parenthesization variant — Catalan-many, intractable past n ≈ 12.  This
+module makes candidate generation a first-class strategy:
+
+* :class:`ExhaustiveSpace` — the full set ``A`` of the paper.  Ground truth
+  for small chains, and the space every selection guarantee (Theorem 2,
+  Algorithm 1) is stated over.
+* :class:`DPSeededSpace` — a *sparse* subset of ``A`` for long chains:
+  the fanning-out variants ``E_h`` (which Theorem 2 selection requires),
+  plus the DP-optimal parenthesizations of sampled training instances
+  (:func:`repro.compiler.dp.dp_seed_trees`), plus a bounded rotation
+  neighborhood around those seeds.  "On the Parenthesisations of Matrix
+  Chains" (López/Karlsson/Bientinesi) observes that only a tiny essential
+  subset of parenthesizations is ever instance-optimal; the DP seeds are
+  exactly the members of that subset witnessed by the training set, and the
+  neighborhood covers instances between seeds.  Compile cost drops from
+  ``O(Catalan(n - 1))`` variants to roughly ``O(seeds · n^3)`` DP work plus
+  a few hundred candidate builds.
+
+Within a generated pool, penalties keep their paper semantics — they are
+measured against the pool minimum, which for :class:`ExhaustiveSpace` is the
+true optimum over ``A`` and for :class:`DPSeededSpace` a tight upper bound
+anchored at the sampled instances.  Both spaces guarantee the fanning-out
+variants are present (and are never evicted by ``max_variants``), so the
+essential-set pass always finds its candidates in the cost matrix.
+
+Strategy choice is a :class:`~repro.compiler.pipeline.CompileOptions` knob
+(``variant_space`` = ``"auto"`` | ``"exhaustive"`` | ``"dp"``, plus
+``max_variants``) and therefore part of the compilation-cache key; ``auto``
+picks exhaustive up to :data:`AUTO_EXHAUSTIVE_MAX_N` matrices and DP-seeded
+beyond.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.ir.chain import Chain
+from repro.compiler.dp import dp_seed_trees
+from repro.compiler.parenthesization import (
+    ParenTree,
+    catalan,
+    iter_trees,
+    rotations,
+)
+from repro.compiler.selection import (
+    _tree_key,
+    all_variants,
+    distinct_fanning_trees,
+)
+from repro.compiler.variant import Variant, build_variant
+
+#: Longest chain ``variant_space="auto"`` still enumerates exhaustively.
+#: Catalan(9) = 4862 variants is the practical knee of the cost curve;
+#: beyond it, auto switches to the DP-seeded space.
+AUTO_EXHAUSTIVE_MAX_N = 10
+
+#: Hard ceiling on eager Catalan enumeration: an explicit
+#: ``variant_space="exhaustive"`` without ``max_variants`` refuses chains
+#: with more parenthesizations than this (n >= 15) instead of hanging.
+EXHAUSTIVE_VARIANT_LIMIT = 1_000_000
+
+#: The recognised ``CompileOptions.variant_space`` values.
+SPACE_NAMES = ("auto", "exhaustive", "dp")
+
+
+class VariantSpace:
+    """One candidate-generation strategy for the ``enumerate`` stage.
+
+    Subclasses set ``name`` and implement :meth:`generate`.  A space must
+    return variants of the per-parenthesization family ``A`` *including*
+    every distinct fanning-out variant ``E_h`` — the essential-set pass
+    resolves its candidates against the pool by signature.
+    """
+
+    name: str = "<space>"
+
+    def generate(
+        self, chain: Chain, training_instances: Optional[np.ndarray]
+    ) -> list[Variant]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def cache_token(self) -> tuple:
+        """Hashable configuration, folded into the pipeline fingerprint
+        when a space instance is attached to an ``EnumeratePass`` directly
+        (options-driven spaces are keyed through ``CompileOptions``)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self.cache_token()}>"
+
+
+def fanning_trees(chain: Chain) -> list[ParenTree]:
+    """The distinct fanning-out trees ``E_h``, smallest ``h`` first."""
+    return list(distinct_fanning_trees(chain).values())
+
+
+def _build_pool(chain: Chain, trees: list[ParenTree]) -> list[Variant]:
+    """Variants for a deduplicated tree list, named by pool position."""
+    return [
+        build_variant(chain, tree, name=f"P{i}")
+        for i, tree in enumerate(trees)
+    ]
+
+
+class ExhaustiveSpace(VariantSpace):
+    """Today's ``all_variants``: every parenthesization, eagerly.
+
+    With ``max_variants`` set, enumeration goes through the lazy
+    :func:`~repro.compiler.parenthesization.iter_trees` iterator and stops
+    at the cap — the fanning-out trees are force-included (appended if the
+    truncated prefix missed them) so selection still works.  Without a cap,
+    chains beyond :data:`EXHAUSTIVE_VARIANT_LIMIT` parenthesizations are
+    rejected up front rather than enumerated for hours.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, max_variants: Optional[int] = None):
+        if max_variants is not None and max_variants < 1:
+            raise CompilationError("max_variants must be >= 1")
+        self.max_variants = max_variants
+
+    def generate(
+        self, chain: Chain, training_instances: Optional[np.ndarray]
+    ) -> list[Variant]:
+        total = catalan(chain.n - 1)
+        if self.max_variants is None:
+            if total > EXHAUSTIVE_VARIANT_LIMIT:
+                raise CompilationError(
+                    f"chain of {chain.n} matrices has {total} parenthesizations"
+                    f" (> {EXHAUSTIVE_VARIANT_LIMIT}); use variant_space='dp'"
+                    " (or 'auto'), or bound enumeration with max_variants"
+                )
+            return all_variants(chain)
+        if total <= self.max_variants:
+            # The cap admits the full set: the caller explicitly sized the
+            # enumeration, so the blowup guard does not apply.
+            return all_variants(chain)
+        trees: list[ParenTree] = []
+        seen: set = set()
+        for tree in iter_trees(chain.n):
+            if len(trees) >= self.max_variants:
+                break
+            trees.append(tree)
+            seen.add(_tree_key(tree))
+        for tree in fanning_trees(chain):
+            if _tree_key(tree) not in seen:
+                trees.append(tree)
+        return _build_pool(chain, trees)
+
+    def cache_token(self) -> tuple:
+        return (self.max_variants,)
+
+
+class DPSeededSpace(VariantSpace):
+    """DP-seeded sparse candidate pool for long chains.
+
+    The pool is, in priority order (earlier entries survive the
+    ``max_variants`` cap):
+
+    1. the distinct fanning-out trees ``E_h`` (never dropped — the
+       essential-set pass needs all of them in the cost matrix);
+    2. one DP-optimal tree per sampled training instance
+       (``num_seeds`` instances, evenly spaced over the training set);
+    3. ``neighborhood`` rounds of rotation perturbations around the seeds,
+       covering instances whose optimum falls between two seeds.
+
+    Everything is deduplicated by tree key, so the pool size is at most
+    ``max_variants`` but typically far smaller — long general chains often
+    have just a handful of distinct DP-optimal shapes.
+    """
+
+    name = "dp"
+
+    #: Pool bound applied when ``CompileOptions.max_variants`` is unset.
+    DEFAULT_MAX_VARIANTS = 512
+    #: How many training rows to run the per-instance DP on.
+    DEFAULT_NUM_SEEDS = 32
+
+    def __init__(
+        self,
+        max_variants: Optional[int] = None,
+        num_seeds: int = DEFAULT_NUM_SEEDS,
+        neighborhood: int = 1,
+    ):
+        if max_variants is not None and max_variants < 1:
+            raise CompilationError("max_variants must be >= 1")
+        if num_seeds < 1:
+            raise CompilationError("num_seeds must be >= 1")
+        if neighborhood < 0:
+            raise CompilationError("neighborhood must be >= 0")
+        self.max_variants = (
+            max_variants if max_variants is not None else self.DEFAULT_MAX_VARIANTS
+        )
+        self.num_seeds = num_seeds
+        self.neighborhood = neighborhood
+
+    def generate(
+        self, chain: Chain, training_instances: Optional[np.ndarray]
+    ) -> list[Variant]:
+        if training_instances is None:
+            raise CompilationError(
+                "the DP-seeded variant space needs training instances; run "
+                "the sample pass (or supply training_instances) first"
+            )
+        trees = fanning_trees(chain)
+        seen = {_tree_key(tree) for tree in trees}
+        budget = max(self.max_variants, len(trees))
+
+        def admit(tree: ParenTree) -> bool:
+            key = _tree_key(tree)
+            if key in seen:
+                return False
+            seen.add(key)
+            trees.append(tree)
+            return True
+
+        seeds = dp_seed_trees(chain, training_instances, self.num_seeds)
+        frontier = [tree for tree in seeds if len(trees) < budget and admit(tree)]
+        for _ in range(self.neighborhood):
+            next_frontier: list[ParenTree] = []
+            for tree in frontier:
+                for neighbor in rotations(tree):
+                    if len(trees) >= budget:
+                        return _build_pool(chain, trees)
+                    if admit(neighbor):
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return _build_pool(chain, trees)
+
+    def cache_token(self) -> tuple:
+        return (self.max_variants, self.num_seeds, self.neighborhood)
+
+
+def make_space(name: str, max_variants: Optional[int] = None) -> VariantSpace:
+    """Instantiate a concrete (non-``auto``) space by its options name."""
+    if name == "exhaustive":
+        return ExhaustiveSpace(max_variants=max_variants)
+    if name == "dp":
+        return DPSeededSpace(max_variants=max_variants)
+    raise CompilationError(
+        f"unknown variant space {name!r}; expected one of {SPACE_NAMES}"
+    )
+
+
+def resolve_space(options, chain: Chain) -> VariantSpace:
+    """The space a chain compiles under, resolving ``"auto"`` by length.
+
+    ``auto`` stays exhaustive up to :data:`AUTO_EXHAUSTIVE_MAX_N` matrices
+    — where the full set *is* tractable and is the paper's ground truth —
+    and switches to the DP-seeded space beyond.  The raw option strings
+    (not the resolution) are what the compilation-cache key records; that
+    is still sound because the chain's structural key, which fixes ``n``,
+    is part of the same key.
+    """
+    name = options.variant_space
+    if name == "auto":
+        name = "exhaustive" if chain.n <= AUTO_EXHAUSTIVE_MAX_N else "dp"
+    return make_space(name, max_variants=options.max_variants)

@@ -9,8 +9,11 @@ Request schema (``id`` is optional and echoed back verbatim):
     Compile a chain program.  ``options`` are the
     :class:`~repro.compiler.pipeline.CompileOptions` knobs (``expand_by``,
     ``num_training_instances``, ``size_range``, ``objective``, ``seed``,
-    ``simplify``).  Response carries a ``handle`` (the content address of
-    the compilation) plus the selected variant names and symbolic costs.
+    ``simplify``, ``variant_space``, ``max_variants`` — the last two pick
+    the candidate-generation strategy, letting clients compile long chains
+    through the DP-seeded space).  Response carries a ``handle`` (the
+    content address of the compilation) plus the selected variant names
+    and symbolic costs.
 
 ``{"op": "dispatch", "handle": "...", "sizes": [500, 80, 500], "id": 2}``
     Run-time dispatch for one instance: answers which variant the

@@ -9,6 +9,9 @@ into that service:
 * ``submit`` runs the cheap front half of compilation (parse + simplify +
   structural key, :meth:`CompilerSession.prepare`) inline on the caller
   thread and returns a :class:`~concurrent.futures.Future`;
+  ``submit_many``/``compile_many`` do the same for a batch, grouping
+  structurally identical requests *before* enqueueing so a batch of N
+  duplicates costs one queue slot and one pipeline run;
 * a **bounded** request queue feeds a pool of worker threads that run the
   expensive back half (:meth:`CompilerSession.finish`); a full queue fails
   the future with :class:`~repro.errors.ServiceOverloadedError` instead of
@@ -219,6 +222,121 @@ class CompileService:
     def map(self, chains: Sequence, *, timeout: Optional[float] = None, **overrides) -> list:
         """Submit a batch and wait; results match the input order."""
         futures = [self.submit(chain, **overrides) for chain in chains]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def submit_many(
+        self,
+        chains: Sequence,
+        *,
+        training_instances: Optional[np.ndarray] = None,
+        cost_estimator: Optional[CostEstimator] = None,
+        use_cache: bool = True,
+        **overrides,
+    ) -> list[Future]:
+        """Queue a batch, grouped by structural identity *before* enqueueing.
+
+        All chains are prepared inline, grouped on their compilation key,
+        and each group is admitted as one queue record — N structurally
+        identical requests cost one queue slot and one pipeline execution,
+        with the other N - 1 attached as coalesced followers up front.
+        Unlike per-request :meth:`submit`, grouping holds even with
+        ``use_cache=False`` (the batch is one caller's explicit unit, so
+        duplicates share the private compilation) and even when a leader
+        finishes before the batch is fully submitted.  Futures match the
+        input order; a chain that fails to parse fails only its own future.
+        """
+        futures: list[Future] = [Future() for _ in chains]
+        # Fast path, as in submit(): skip the per-chain front-half work when
+        # already closed (the authoritative re-check runs under _lock below).
+        if self._closed:
+            for future in futures:
+                self.metrics.record_request()
+                self._fail(future, ServiceClosedError("service is closed"))
+            return futures
+        prepared: list[Optional[tuple[PassContext, str]]] = []
+        for chain, future in zip(chains, futures):
+            self.metrics.record_request()
+            try:
+                prepared.append(
+                    self.session.prepare(
+                        chain,
+                        training_instances=training_instances,
+                        cost_estimator=cost_estimator,
+                        **overrides,
+                    )
+                )
+            except Exception as exc:
+                self.metrics.record_error()
+                self._fail(future, exc)
+                prepared.append(None)
+
+        groups: dict[str, list[int]] = {}
+        for index, prep in enumerate(prepared):
+            if prep is not None:
+                groups.setdefault(prep[1], []).append(index)
+
+        for key, indices in groups.items():
+            now = time.perf_counter()
+            requests = [
+                _Request(
+                    ctx=prepared[i][0], future=futures[i], submitted=now
+                )
+                for i in indices
+            ]
+            for i in indices:
+                futures[i].handle = key if use_cache else None  # type: ignore[attr-defined]
+            outcome = "ok"
+            with self._lock:
+                if self._closed:
+                    outcome = "closed"
+                else:
+                    inflight = (
+                        self._inflight.get(key) if use_cache else None
+                    )
+                    if inflight is not None:
+                        # The whole group rides an already in-flight
+                        # compilation for this key: zero queue slots.
+                        inflight.followers.extend(requests)
+                        for _ in requests:
+                            self.metrics.record_coalesced()
+                        continue
+                    record = _Inflight(
+                        key=key if use_cache else "",
+                        leader=requests[0],
+                        followers=requests[1:],
+                        use_cache=use_cache,
+                    )
+                    outcome = self._admit(record)
+                    if outcome == "ok":
+                        if use_cache:
+                            self._inflight[key] = record
+                        for _ in requests[1:]:
+                            self.metrics.record_coalesced()
+            if outcome == "closed":
+                for request in requests:
+                    self._fail(
+                        request.future, ServiceClosedError("service is closed")
+                    )
+            elif outcome == "full":
+                for request in requests:
+                    self.metrics.record_rejected()
+                    self._fail(
+                        request.future,
+                        ServiceOverloadedError(
+                            f"compile queue is full ({self._queue.maxsize} pending)"
+                        ),
+                    )
+        return futures
+
+    def compile_many(
+        self, chains: Sequence, *, timeout: Optional[float] = None, **overrides
+    ) -> list:
+        """Batch :meth:`compile`: coalescing-aware submission, then wait.
+
+        ``submit_many`` groups structurally identical chains before they
+        touch the bounded queue; results match the input order.
+        """
+        futures = self.submit_many(chains, **overrides)
         return [future.result(timeout=timeout) for future in futures]
 
     # -- dispatch registry ---------------------------------------------------

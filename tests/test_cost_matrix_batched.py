@@ -80,3 +80,41 @@ class TestBatchedCostMatrix:
     def test_empty_variants(self):
         costs = flop_cost_matrix([], np.ones((5, 3)))
         assert costs.shape == (0, 5)
+
+
+class TestDegenerateInputs:
+    """Empty variant lists and zero-instance arrays return shaped zeros.
+
+    Regression guard: the broadcast-and-accumulate sweep must never see a
+    zero-length axis (some numpy versions refuse to broadcast a size-1
+    dimension to 0), and a 1-D array must fail loudly instead of indexing
+    ``shape[1]``.
+    """
+
+    def test_zero_instances_well_shaped(self):
+        chain = general_chain(4)
+        variants = all_variants(chain)
+        costs = flop_cost_matrix(variants, np.empty((0, 5)))
+        assert costs.shape == (len(variants), 0)
+
+    def test_empty_variants_well_shaped(self, rng):
+        chain = general_chain(4)
+        instances = sample_instances(chain, 7, rng)
+        costs = flop_cost_matrix([], instances)
+        assert costs.shape == (0, 7)
+
+    def test_both_empty_well_shaped(self):
+        assert flop_cost_matrix([], np.empty((0, 5))).shape == (0, 0)
+
+    def test_one_dimensional_input_rejected(self):
+        chain = general_chain(4)
+        with pytest.raises(ValueError, match="2-D"):
+            flop_cost_matrix(all_variants(chain), np.empty((0,)))
+
+    def test_zero_instance_cost_matrix_object(self):
+        # The CostMatrix wrapper stays consistent on an empty instance set.
+        chain = general_chain(3)
+        matrix = CostMatrix(all_variants(chain), np.empty((0, 4)))
+        assert matrix.num_instances == 0
+        assert matrix.costs.shape == (len(matrix.variants), 0)
+        assert matrix.ratios([0]).shape == (0,)

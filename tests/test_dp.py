@@ -4,8 +4,14 @@ import numpy as np
 import pytest
 
 from repro.ir.chain import Chain
-from repro.compiler.dp import dp_optimal_cost
+from repro.compiler.dp import (
+    dp_optimal_cost,
+    dp_optimal_tree,
+    dp_plan_variants,
+    dp_seed_trees,
+)
 from repro.compiler.selection import all_variants, optimal_cost
+from repro.compiler.variant import build_variant
 from repro.experiments.sampling import sample_instances, sample_shapes
 
 from conftest import general_chain, make_general, make_lower
@@ -87,3 +93,64 @@ class TestStructuredChains:
             2 / 3 * m**3 + 2 * m * m * n + m * m * n,  # L1 (G2^-1 G3)
         )
         assert dp_optimal_cost(chain, (m, m, m, n)) == pytest.approx(expected)
+
+
+class TestPlanExtraction:
+    def test_optimal_tree_spans_the_chain(self):
+        chain = general_chain(6)
+        q = (30, 35, 15, 5, 10, 20, 25)
+        tree = dp_optimal_tree(chain, q)
+        assert (tree.lo, tree.hi) == (0, 5)
+        assert len(list(tree.internal_nodes())) == 5
+
+    def test_optimal_tree_variant_achieves_classic_optimum(self):
+        # On a standard chain (no features) the Section IV construction on
+        # the DP-optimal tree reproduces the DP cost exactly.
+        chain = general_chain(6)
+        q = (30, 35, 15, 5, 10, 20, 25)
+        variant = build_variant(chain, dp_optimal_tree(chain, q))
+        assert variant.flop_cost(q) == pytest.approx(dp_optimal_cost(chain, q))
+
+    def test_optimal_tree_variant_never_beats_dp(self):
+        rng = np.random.default_rng(3)
+        for chain in sample_shapes(5, 4, rng, rectangular_probability=0.5):
+            for q in sample_instances(chain, 5, rng, low=2, high=200):
+                q = tuple(q)
+                variant = build_variant(chain, dp_optimal_tree(chain, q))
+                assert variant.flop_cost(q) >= dp_optimal_cost(chain, q) - 1e-9
+
+    def test_single_matrix_tree_is_a_leaf(self):
+        chain = Chain((make_general("A").as_operand(),))
+        tree = dp_optimal_tree(chain, (7, 9))
+        assert tree.is_leaf and (tree.lo, tree.hi) == (0, 0)
+
+    def test_seed_trees_dedupe_and_bound(self):
+        chain = general_chain(5)
+        rng = np.random.default_rng(11)
+        instances = sample_instances(chain, 40, rng, low=2, high=1000)
+        trees = dp_seed_trees(chain, instances)
+        keys = {str(t) for t in trees}
+        assert len(keys) == len(trees) >= 1
+        capped = dp_seed_trees(chain, instances, max_seeds=4)
+        assert len(capped) <= 4
+        # Capped seeds are a subset of the full run's distinct trees.
+        assert {str(t) for t in capped} <= keys | {
+            str(dp_optimal_tree(chain, tuple(q))) for q in instances
+        }
+
+    def test_seed_trees_empty_instances(self):
+        chain = general_chain(4)
+        assert dp_seed_trees(chain, np.empty((0, 5))) == []
+
+    def test_plan_variants_are_named_and_distinct(self):
+        chain = general_chain(5)
+        rng = np.random.default_rng(5)
+        instances = sample_instances(chain, 30, rng, low=2, high=1000)
+        variants = dp_plan_variants(chain, instances)
+        assert [v.name for v in variants] == [
+            f"D{i}" for i in range(len(variants))
+        ]
+        signatures = {v.signature() for v in variants}
+        assert len(signatures) == len(variants)
+        for variant in variants:
+            assert variant.tree is not None

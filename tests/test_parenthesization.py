@@ -7,11 +7,13 @@ from repro.compiler.parenthesization import (
     catalan,
     enumerate_trees,
     fanning_out_tree,
+    iter_trees,
     join,
     leaf,
     left_to_right_tree,
     linearize,
     right_to_left_tree,
+    rotations,
 )
 
 
@@ -116,3 +118,68 @@ class TestLinearization:
             for i, (_, b, _) in enumerate(order):
                 for later in order[i + 1:]:
                     assert b not in later
+
+
+class TestLazyEnumeration:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_matches_eager_enumeration(self, n):
+        assert [str(t) for t in iter_trees(n)] == [
+            str(t) for t in enumerate_trees(n)
+        ]
+
+    def test_prefix_of_long_chain_is_cheap(self):
+        # Catalan(19) ~ 1.77e9 trees: materializing is impossible, but the
+        # lazy iterator hands out a bounded prefix instantly.
+        import itertools
+
+        prefix = list(itertools.islice(iter_trees(20), 25))
+        assert len(prefix) == 25
+        assert len({str(t) for t in prefix}) == 25
+        for tree in prefix:
+            assert (tree.lo, tree.hi) == (0, 19)
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            next(iter_trees(0))
+
+
+class TestRotations:
+    def test_leaf_has_no_neighbors(self):
+        assert list(rotations(leaf(0))) == []
+
+    def test_two_leaves_have_no_neighbors(self):
+        assert list(rotations(join(leaf(0), leaf(1)))) == []
+
+    def test_three_leaves_rotate_into_each_other(self):
+        left = join(join(leaf(0), leaf(1)), leaf(2))
+        right = join(leaf(0), join(leaf(1), leaf(2)))
+        assert [str(t) for t in rotations(left)] == [str(right)]
+        assert [str(t) for t in rotations(right)] == [str(left)]
+
+    @pytest.mark.parametrize("n", (4, 5, 6, 7))
+    def test_neighbors_are_valid_distinct_trees(self, n):
+        for tree in enumerate_trees(n):
+            neighbors = list(rotations(tree))
+            assert 1 <= len(neighbors) <= 2 * (n - 2)
+            for neighbor in neighbors:
+                assert (neighbor.lo, neighbor.hi) == (0, n - 1)
+                assert str(neighbor) != str(tree)
+                # A rotation is an involution: the original is reachable back.
+                assert str(tree) in {str(t) for t in rotations(neighbor)}
+
+    def test_rotation_graph_is_connected(self):
+        # Every parenthesization reaches every other through rotations
+        # (the associahedron is connected) — the property that lets the
+        # DP-seeded neighborhood cover trees between seeds.
+        n = 6
+        all_keys = {str(t) for t in enumerate_trees(n)}
+        frontier = [left_to_right_tree(n)]
+        seen = {str(frontier[0])}
+        while frontier:
+            tree = frontier.pop()
+            for neighbor in rotations(tree):
+                key = str(neighbor)
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append(neighbor)
+        assert seen == all_keys

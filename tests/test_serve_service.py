@@ -419,3 +419,168 @@ class TestMetrics:
         assert stats["registry_entries"] == 1
         assert stats["workers"] == 1
         assert stats["inflight"] == 0
+
+
+def counting_observer(enumerations):
+    """Observer appending one entry per executed enumerate pass."""
+
+    def observer(compiler_pass, ctx, elapsed):
+        if compiler_pass.name == "enumerate" and elapsed is not None:
+            enumerations.append(ctx.chain)
+
+    return observer
+
+
+class TestCompileMany:
+    def test_duplicates_compile_once_in_order(self):
+        enumerations = []
+        session = CompilerSession(
+            pipeline=default_pipeline(counting_observer(enumerations))
+        )
+        with CompileService(session, workers=2, warm=False) as service:
+            chains = [renamed_clone(f"B{i}", 4) for i in range(8)]
+            results = service.compile_many(
+                chains, num_training_instances=25, timeout=60
+            )
+        assert len(enumerations) == 1
+        assert [
+            [m.name for m in generated.chain.matrices] for generated in results
+        ] == [[f"B{i}{j}" for j in range(4)] for i in range(8)]
+        sigs = {
+            tuple(v.signature() for v in generated.variants)
+            for generated in results
+        }
+        assert len(sigs) == 1  # every caller got the same compilation
+
+    def test_batch_of_duplicates_needs_one_queue_slot(self):
+        # max_queue=1: a naive per-request path could only hold one
+        # compilation; the grouped batch admits 6 duplicates as one record.
+        gate = threading.Event()
+        session = gated_session(gate)
+        service = CompileService(session, workers=1, max_queue=1, warm=False)
+        try:
+            futures = service.submit_many(
+                [renamed_clone(f"Q{i}", 3) for i in range(6)],
+                num_training_instances=20,
+            )
+            gate.set()
+            results = [future.result(timeout=30) for future in futures]
+            assert len(results) == 6
+            assert service.metrics.coalesced == 5
+        finally:
+            gate.set()
+            service.close()
+
+    def test_private_batches_group_too(self):
+        # use_cache=False per-request means N private pipeline runs; the
+        # explicit batch is one caller's unit, so duplicates still group.
+        enumerations = []
+        session = CompilerSession(
+            pipeline=default_pipeline(counting_observer(enumerations))
+        )
+        with CompileService(session, workers=2, warm=False) as service:
+            results = service.compile_many(
+                [renamed_clone(f"P{i}", 3) for i in range(5)],
+                num_training_instances=20,
+                use_cache=False,
+                timeout=60,
+            )
+        assert len(enumerations) == 1
+        assert len(results) == 5
+        assert session.cache_stats().lookups == 0  # genuinely private
+
+    def test_mixed_batch_compiles_each_structure_once(self):
+        enumerations = []
+        session = CompilerSession(
+            pipeline=default_pipeline(counting_observer(enumerations))
+        )
+        with CompileService(session, workers=2, warm=False) as service:
+            chains = [
+                renamed_clone("A0", 3),
+                renamed_clone("B0", 4),
+                renamed_clone("A1", 3),
+                renamed_clone("B1", 4),
+                renamed_clone("A2", 3),
+            ]
+            results = service.compile_many(
+                chains, num_training_instances=20, timeout=60
+            )
+        assert len(enumerations) == 2  # one per distinct structure
+        assert [generated.chain.n for generated in results] == [3, 4, 3, 4, 3]
+
+    def test_parse_error_fails_only_its_future(self):
+        with CompileService(workers=1, warm=False) as service:
+            futures = service.submit_many(
+                [renamed_clone("G0", 3), "this is not a program", renamed_clone("G1", 3)],
+                num_training_instances=20,
+            )
+            assert futures[0].result(timeout=30) is not None
+            with pytest.raises(Exception):
+                futures[1].result(timeout=30)
+            assert futures[2].result(timeout=30) is not None
+            assert service.metrics.errors == 1
+
+    def test_batch_attaches_to_inflight_leader(self):
+        # A batch whose structure is already compiling rides the in-flight
+        # record: zero new queue slots, one total pipeline run.
+        enumerations = []
+        gate = threading.Event()
+        session = gated_session(gate, counting_observer(enumerations))
+        service = CompileService(session, workers=1, warm=False)
+        try:
+            leader = service.submit(
+                renamed_clone("L0", 3), num_training_instances=20
+            )
+            assert service._inflight  # registered synchronously by submit
+            futures = service.submit_many(
+                [renamed_clone(f"F{i}", 3) for i in range(4)],
+                num_training_instances=20,
+            )
+            gate.set()
+            assert leader.result(timeout=30) is not None
+            for future in futures:
+                assert future.result(timeout=30) is not None
+            assert len(enumerations) == 1
+            assert service.metrics.coalesced == 4
+        finally:
+            gate.set()
+            service.close()
+
+    def test_closed_service_fails_batch(self):
+        service = CompileService(workers=1, warm=False)
+        service.close()
+        futures = service.submit_many(
+            [renamed_clone("C0", 3)], num_training_instances=20
+        )
+        with pytest.raises(ServiceClosedError):
+            futures[0].result(timeout=5)
+
+    def test_handles_registered_for_batch(self):
+        with CompileService(workers=2, warm=False) as service:
+            results = service.compile_many(
+                [renamed_clone("H0", 3), renamed_clone("H1", 3)],
+                num_training_instances=20,
+                timeout=60,
+            )
+            futures = service.submit_many(
+                [renamed_clone("H2", 3)], num_training_instances=20
+            )
+            futures[0].result(timeout=30)
+            handle = futures[0].handle
+            assert handle is not None
+            assert service.lookup(handle) is not None
+
+    def test_empty_batch(self):
+        with CompileService(workers=1, warm=False) as service:
+            assert service.compile_many([]) == []
+
+    def test_closed_service_skips_batch_preparation(self):
+        service = CompileService(workers=1, warm=False)
+        service.close()
+        # prepare() would raise on this junk source; the closed fast path
+        # must fail the futures without ever parsing.
+        futures = service.submit_many(["not a program at all"] * 3)
+        for future in futures:
+            with pytest.raises(ServiceClosedError):
+                future.result(timeout=5)
+        assert service.metrics.errors == 0  # closed, not parse-errored

@@ -5,6 +5,7 @@ import pytest
 
 from repro.api import compile_chain, compile_many
 from repro.compiler import pipeline as pipeline_mod
+from repro.compiler import variant_space as variant_space_mod
 from repro.compiler.session import (
     CompilerSession,
     get_default_session,
@@ -53,7 +54,8 @@ class TestCachedCompile:
         def explode(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("enumeration/selection ran on a cache hit")
 
-        monkeypatch.setattr(pipeline_mod, "all_variants", explode)
+        monkeypatch.setattr(variant_space_mod, "all_variants", explode)
+        monkeypatch.setattr(variant_space_mod, "resolve_space", explode)
         monkeypatch.setattr(pipeline_mod, "essential_set", explode)
         monkeypatch.setattr(pipeline_mod, "expand_set", explode)
         hit = session.compile(chain, num_training_instances=40)
