@@ -55,6 +55,7 @@ from repro.compiler import (
     Dispatcher,
     execute_variant,
     dp_optimal_cost,
+    CompiledProgram,
     CompilerSession,
 )
 from repro.api import (
@@ -64,6 +65,7 @@ from repro.api import (
     compile_expression,
     compile_many,
     get_default_session,
+    load_program,
     set_default_session,
 )
 from repro.serve import CompileService
@@ -107,6 +109,8 @@ __all__ = [
     "compile_chain",
     "compile_expression",
     "compile_many",
+    "load_program",
+    "CompiledProgram",
     "CompilerSession",
     "CompileService",
     "GeneratedCode",

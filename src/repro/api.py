@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.ir.chain import Chain
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
+from repro.compiler.program import CompiledProgram
 from repro.compiler.session import get_default_session, set_default_session
 from repro.compiler.variant import Variant
 
@@ -48,6 +49,10 @@ class GeneratedCode:
     variants: list[Variant]
     dispatcher: Dispatcher
     training_instances: np.ndarray
+    #: The portable compilation artifact this facade wraps (set by session
+    #: compiles; ``None`` for hand-assembled instances — :meth:`to_program`
+    #: builds one on demand).
+    program: Optional[CompiledProgram] = None
 
     def __call__(self, *arrays) -> np.ndarray:
         return self.dispatcher(*arrays)
@@ -87,6 +92,31 @@ class GeneratedCode:
             dispatcher=dispatcher,
             training_instances=np.empty((0, chain.n + 1)),
         )
+
+    def to_program(self) -> CompiledProgram:
+        """The versioned, serializable artifact for this compilation.
+
+        Session compiles already carry one (with key and provenance); a
+        hand-assembled ``GeneratedCode`` gets a bare artifact built from
+        its own fields.
+        """
+        if self.program is not None:
+            return self.program
+        return CompiledProgram.from_artifacts(
+            self.chain, tuple(self.variants), self.training_instances
+        )
+
+    def save(self, path, indent: int | None = 2) -> None:
+        """Write the compilation artifact to ``path`` (see ``repro run``)."""
+        self.to_program().save(path, indent=indent)
+
+    @staticmethod
+    def from_program(
+        program: CompiledProgram,
+        cost_estimator: CostEstimator = flop_estimator,
+    ) -> "GeneratedCode":
+        """The executable facade over a (possibly loaded) artifact."""
+        return program.to_generated_code(cost_estimator)
 
     def report(self, num_instances: int = 300, seed: int = 0) -> str:
         """Markdown compilation report (variants, costs, win frequencies)."""
@@ -174,6 +204,19 @@ def compile_chain(
         variant_space=variant_space,
         max_variants=max_variants,
     )
+
+
+def load_program(
+    path, cost_estimator: CostEstimator = flop_estimator
+) -> GeneratedCode:
+    """Load a compilation artifact file into an executable ``GeneratedCode``.
+
+    The file is the versioned :class:`~repro.compiler.program.CompiledProgram`
+    wire format, as written by ``repro compile --output``,
+    :meth:`GeneratedCode.save`, or a cache :class:`~repro.serve.DiskBackend`
+    entry.  Loading reconstructs a working dispatcher without recompiling.
+    """
+    return CompiledProgram.load(path).to_generated_code(cost_estimator)
 
 
 def compile_many(

@@ -5,15 +5,24 @@ Commands:
 * ``compile`` — compile a program in the Fig. 2 input language through a
   :class:`~repro.compiler.session.CompilerSession` and show the selected
   variants, their symbolic costs, and (optionally) the generated C++ code;
-  ``--cache-dir`` persists compilations across invocations;
-  ``--variant-space``/``--max-variants`` pick the candidate-generation
-  strategy (the DP-seeded space scales compilation to long chains).
+  ``--output prog.json`` writes the versioned
+  :class:`~repro.compiler.program.CompiledProgram` artifact (compile once,
+  run anywhere via ``repro run``); ``--cache-dir`` persists compilations
+  across invocations; ``--variant-space``/``--max-variants`` pick the
+  candidate-generation strategy (the DP-seeded space scales compilation to
+  long chains).
+* ``run`` — load a compiled artifact (``repro compile --output``, a cache
+  entry file, or a served ``artifact`` response saved to disk) and use it
+  without recompiling: describe it, dispatch on ``--sizes``, or execute on
+  concrete matrices from an ``--npz`` file.
 * ``cache stats`` / ``cache clear`` / ``cache warm`` — inspect, empty, or
   warm-validate the on-disk compilation cache.
 * ``serve`` — long-lived JSON-lines compilation service
-  (:mod:`repro.serve`): bounded queue, worker pool, request coalescing;
-  stdin/stdout by default, TCP with ``--port``; ``--stats`` prints queue
-  depth, coalesce rate, and latency percentiles on exit.
+  (:mod:`repro.serve`): bounded queue, worker pool (``--workers-mode
+  process`` fans compilation out to a process pool and ships artifacts
+  back over pipes), request coalescing; stdin/stdout by default, TCP with
+  ``--port``; ``--stats`` prints queue depth, coalesce rate, and latency
+  percentiles on exit.
 * ``fig5`` — run Experiment A (FLOPs, paper Fig. 5) and print the summary
   statistics and eCDF samples.
 * ``fig6`` — run Experiment B (execution time, paper Fig. 6).
@@ -56,6 +65,12 @@ def _print_session_diagnostics(session, args: argparse.Namespace) -> None:
         if session.last_context.skipped:
             skipped = dict.fromkeys(session.last_context.skipped)  # dedupe
             print(f"  skipped (cache hit): {', '.join(skipped)}")
+        pool = session.last_context.diagnostics.get("variant_pool")
+        if pool:
+            print(
+                "variant pool: "
+                + "  ".join(f"{key}={pool[key]}" for key in sorted(pool))
+            )
     if getattr(args, "stats", False):
         print()
         print(f"cache: {session.cache_stats()}")
@@ -78,6 +93,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if len(program.expression) > 1 or (
         program.expression.terms[0].coefficient != 1.0
     ):
+        if args.output:
+            print(
+                "error: --output writes one artifact per compiled chain; "
+                "compile each term's bare chain separately (artifacts carry "
+                "no term coefficients)",
+                file=sys.stderr,
+            )
+            return 2
         generated = session.compile_expression(
             program.expression,
             expand_by=args.expand,
@@ -109,7 +132,63 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.cpp:
         print()
         print(generated.cpp_source(function_name=args.function_name))
+    if args.output:
+        generated.save(args.output)
+        print()
+        print(f"wrote compiled artifact to {args.output}")
     _print_session_diagnostics(session, args)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler.executor import execute_variant, infer_sizes
+    from repro.compiler.program import ArtifactError, CompiledProgram
+
+    try:
+        program = CompiledProgram.load(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.npz:
+        with np.load(args.npz) as archive:
+            names = [operand.matrix.name for operand in program.chain]
+            if all(name in archive.files for name in names):
+                arrays = [np.asarray(archive[name]) for name in names]
+            elif len(archive.files) == program.chain.n:
+                # Fall back to file order (np.savez positional arr_0..arr_k).
+                arrays = [np.asarray(archive[key]) for key in archive.files]
+            else:
+                print(
+                    f"error: {args.npz} holds {len(archive.files)} arrays "
+                    f"({', '.join(archive.files)}); the chain needs "
+                    f"{program.chain.n} ({', '.join(names)})",
+                    file=sys.stderr,
+                )
+                return 2
+        dispatcher = program.to_dispatcher()
+        sizes = infer_sizes(program.chain, arrays)
+        variant, cost = dispatcher.select(sizes)
+        result = execute_variant(variant, arrays)
+        print(f"instance sizes: {list(sizes)}")
+        print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        if args.out:
+            np.save(args.out, result)
+            print(f"wrote result {result.shape} to {args.out}")
+        else:
+            print(f"result shape: {result.shape}")
+            with np.printoptions(precision=6, threshold=64, edgeitems=3):
+                print(result)
+        return 0
+
+    if args.sizes:
+        sizes = [int(part) for part in args.sizes.replace(",", " ").split()]
+        variant, cost = program.to_dispatcher().select(sizes)
+        print(f"instance sizes: {sizes}")
+        print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        return 0
+
+    print(program.describe())
     return 0
 
 
@@ -159,9 +238,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = CompileService(
         session,
         workers=args.workers,
+        workers_mode=args.workers_mode,
         max_queue=args.max_queue,
         warm=not args.no_warm,
     )
+    if args.workers_mode == "process":
+        service.prestart()
+        print("process pool ready", file=sys.stderr)
     if service.warmed:
         print(f"warmed {service.warmed} cache entries", file=sys.stderr)
     try:
@@ -335,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpp", action="store_true", help="emit generated C++")
     p.add_argument("--function-name", default="evaluate_chain")
     p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the compiled artifact (versioned CompiledProgram JSON) "
+        "to this file; load it later with `repro run` or "
+        "repro.api.load_program",
+    )
+    p.add_argument(
         "--cache-dir",
         default=_env_cache_dir(),
         help="persist compilations to this directory (content-addressed; "
@@ -347,6 +438,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print compilation-cache stats"
     )
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser(
+        "run",
+        help="load a compiled artifact and describe, dispatch, or execute it",
+    )
+    p.add_argument("artifact", help="path to a CompiledProgram artifact file")
+    p.add_argument(
+        "--sizes",
+        default=None,
+        help="comma- or space-separated instance sizes q0,..,qn: print the "
+        "variant the dispatcher selects and its cost",
+    )
+    p.add_argument(
+        "--npz",
+        default=None,
+        help="execute on concrete matrices from this .npz archive (entries "
+        "named after the chain's matrices, or positional)",
+    )
+    p.add_argument(
+        "--out", default=None, help="write the executed result to this .npy file"
+    )
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("cache", help="inspect, warm, or clear the on-disk cache")
     p.add_argument("action", choices=["stats", "clear", "warm"])
@@ -390,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers", type=int, default=None, help="worker threads (default: auto)"
+    )
+    p.add_argument(
+        "--workers-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="run compilations on worker threads (default) or fan them out "
+        "to a process pool that ships artifacts back over pipes "
+        "(GIL-free throughput on distinct structures)",
     )
     p.add_argument(
         "--max-queue", type=int, default=256, help="bound on queued compilations"

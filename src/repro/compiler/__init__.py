@@ -72,6 +72,11 @@ from repro.compiler.validation import (
     verify_or_report,
     verify_variant,
 )
+from repro.compiler.program import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    CompiledProgram,
+)
 from repro.compiler.pipeline import (
     CompileOptions,
     CompilerPass,
@@ -87,6 +92,9 @@ from repro.compiler.session import (
 )
 
 __all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "CompiledProgram",
     "CompileOptions",
     "CompilerPass",
     "PassContext",

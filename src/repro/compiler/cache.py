@@ -13,15 +13,21 @@ Two layers:
 
 * an in-memory LRU (``capacity`` entries, thread-safe) for the hot path;
 * an optional on-disk layer (one JSON file per key under ``disk_dir``,
-  written atomically) reusing the :mod:`repro.codegen.serialize` format —
-  the moral equivalent of a shared build cache for the generated C++.
+  written atomically) whose entries are verbatim
+  :class:`~repro.compiler.program.CompiledProgram` artifacts — portable
+  across processes and hosts, loadable by ``repro run`` directly, the moral
+  equivalent of a shared build cache for the generated C++.
+
+The entry type *is* the artifact: :data:`CacheEntry` aliases
+:class:`~repro.compiler.program.CompiledProgram` (the historical
+``chain``/``variants``/``training_instances`` triple, now carrying
+provenance too), so everything the cache stores can cross the wire.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 import tempfile
 import threading
@@ -38,10 +44,8 @@ import numpy as np
 from repro.ir.chain import Chain
 from repro.ir.structural import structural_key
 from repro.compiler.pipeline import CompileOptions
+from repro.compiler.program import ArtifactError, CompiledProgram
 from repro.compiler.variant import Variant
-
-#: Bump when the on-disk entry layout changes.
-DISK_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -85,13 +89,11 @@ class CacheStats:
         return text
 
 
-@dataclass(frozen=True)
-class CacheEntry:
-    """One compiled structure: the chain it was compiled under + artifacts."""
-
-    chain: Chain
-    variants: tuple[Variant, ...]
-    training_instances: np.ndarray
+#: One compiled structure.  The entry type is the compilation artifact
+#: itself — construct it with the historical keyword triple
+#: (``chain``/``variants``/``training_instances``) or via
+#: :meth:`CompiledProgram.from_artifacts` for full provenance.
+CacheEntry = CompiledProgram
 
 
 def compilation_key(
@@ -127,7 +129,15 @@ def rebind_variants(
 
 
 class DiskCache:
-    """One-JSON-file-per-key persistent layer under ``directory``."""
+    """One-artifact-file-per-key persistent layer under ``directory``.
+
+    Entry files hold the :class:`CompiledProgram` wire format verbatim
+    (``<key>.json`` = ``entry.dumps()``), so a cache directory is a
+    collection of portable artifacts: another process or host can load an
+    entry, and ``repro run <cache-dir>/<key>.json`` works on it directly.
+    Entries written by earlier layouts fail artifact validation and read as
+    misses (the compilation simply reruns and overwrites them).
+    """
 
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory)
@@ -136,54 +146,35 @@ class DiskCache:
         return self.directory / f"{key}.json"
 
     def load(self, key: str) -> Optional[CacheEntry]:
-        from repro.codegen import serialize
-
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
         except (OSError, ValueError):
-            # ValueError covers JSONDecodeError and the UnicodeDecodeError
-            # a binary-garbage entry raises from read_text().
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("disk_format_version") != DISK_FORMAT_VERSION:
-            return None
-        if payload.get("key") != key:
+            # ValueError covers the UnicodeDecodeError a binary-garbage
+            # entry raises from read_text().
             return None
         try:
-            chain, variants = serialize.loads(json.dumps(payload["compiled"]))
-        except (KeyError, serialize.SerializationError):
+            program = CompiledProgram.loads(text)
+        except ArtifactError:
             return None
-        training = np.asarray(payload.get("training_instances", []), dtype=np.float64)
-        if training.size == 0:
-            training = training.reshape(0, chain.n + 1)
-        return CacheEntry(
-            chain=chain, variants=tuple(variants), training_instances=training
-        )
+        if program.key != key:
+            return None
+        return program
 
     def store(self, key: str, entry: CacheEntry) -> None:
-        from repro.codegen import serialize
-
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "disk_format_version": DISK_FORMAT_VERSION,
-            "key": key,
-            "compiled": json.loads(
-                serialize.dumps(entry.chain, list(entry.variants))
-            ),
-            "training_instances": np.asarray(
-                entry.training_instances
-            ).tolist(),
-        }
+        if entry.key != key:
+            # Stamp the content address so the stored file is self-describing
+            # (and so load() can reject misfiled or renamed entries).
+            entry = dataclasses.replace(entry, key=key)
         # Atomic publish: concurrent writers of the same key both produce
-        # identical content, so last-rename-wins is safe.
+        # equivalent content, so last-rename-wins is safe.
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                handle.write(entry.dumps())
             os.replace(tmp_name, self.path_for(key))
         except BaseException:
             try:

@@ -20,6 +20,7 @@ name- or estimator-dependent and always run.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
@@ -30,6 +31,7 @@ from repro.errors import CompilationError
 from repro.ir.chain import Chain
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
 from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
+from repro.compiler.program import CompiledProgram
 from repro.compiler.selection import CostMatrix, essential_set
 from repro.compiler.variant import Variant
 
@@ -151,12 +153,21 @@ class PassContext:
     variants: Optional[list[Variant]] = None
     cost_matrix: Optional[CostMatrix] = None
     selected: Optional[list[Variant]] = None
+    program: Optional[CompiledProgram] = None
     dispatcher: Optional[Dispatcher] = None
+
+    #: Content address of this compilation (set by the session once the
+    #: front passes have run); stamped into the produced artifact.
+    cache_key: str = ""
 
     # -- instrumentation ----------------------------------------------------
     executed: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    #: Structured per-pass instrumentation (e.g. ``variant_pool`` from the
+    #: enumerate stage), reported by ``repro compile --timings`` and the
+    #: serve ``stats`` response, and carried on the artifact.
+    diagnostics: dict[str, object] = field(default_factory=dict)
     #: True while the back pipeline runs on a cache hit.  A custom
     #: non-cacheable pass spliced among the cacheable stages must branch on
     #: this: the skipped stages' intermediates (``variants``,
@@ -281,6 +292,10 @@ class EnumeratePass(CompilerPass):
 
     def __init__(self, space: Optional["VariantSpace"] = None):
         self.space = space
+        # A pinned space instance is shared by every compile through this
+        # pass; its per-generate diagnostics attribute must not be read
+        # while another thread's generate() is rebinding it.
+        self._space_lock = threading.Lock() if space is not None else None
 
     def run(self, ctx: PassContext) -> None:
         from repro.compiler.variant_space import resolve_space
@@ -288,13 +303,30 @@ class EnumeratePass(CompilerPass):
         chain = ctx.require("chain")
         if chain.n == 1:
             ctx.variants = [_single_variant(chain)]
+            ctx.diagnostics["variant_pool"] = {
+                "strategy": "single",
+                "requested": ctx.options.variant_space,
+                "pool_size": 1,
+            }
             return
-        space = (
-            self.space
-            if self.space is not None
-            else resolve_space(ctx.options, chain)
-        )
-        ctx.variants = space.generate(chain, ctx.training_instances)
+        if self.space is not None:
+            with self._space_lock:
+                ctx.variants = self.space.generate(
+                    chain, ctx.training_instances
+                )
+                info: dict = dict(self.space.diagnostics or {})
+            space_name = self.space.name
+        else:
+            space = resolve_space(ctx.options, chain)  # fresh per compile
+            ctx.variants = space.generate(chain, ctx.training_instances)
+            info = dict(space.diagnostics or {})
+            space_name = space.name
+        # The pool diagnostics (strategy resolved by ``auto``, dedup hits,
+        # seed count, ...) flow to --timings and the serve stats response.
+        info.setdefault("strategy", space_name)
+        info["requested"] = ctx.options.variant_space
+        info["pool_size"] = len(ctx.variants)
+        ctx.diagnostics["variant_pool"] = info
 
     def cache_token(self) -> tuple:
         if self.space is None:
@@ -365,16 +397,33 @@ class ExpansionPass(CompilerPass):
 
 
 class DispatchPass(CompilerPass):
-    """Build the run-time dispatcher over the selected variants."""
+    """Produce the compilation artifact and its run-time dispatcher.
+
+    The pass's primary product is a :class:`CompiledProgram` — the
+    versioned, serializable bundle the cache stores and the wire ships —
+    and the dispatcher is *reconstructed from the artifact*, so in-process
+    and loaded-from-the-wire compilations go through the identical path.
+    """
 
     name = "dispatch"
 
     def run(self, ctx: PassContext) -> None:
-        ctx.dispatcher = Dispatcher(
+        ctx.program = CompiledProgram.from_artifacts(
             ctx.require("chain"),
             ctx.require("selected"),
-            cost_estimator=ctx.cost_estimator,
+            ctx.training_instances,
+            key=ctx.cache_key,
+            options=ctx.options,
+            timings=ctx.timings,
+            diagnostics=ctx.diagnostics,
+            # On a cache hit the context's training array is already this
+            # request's private copy (rebind copies per request), and the
+            # artifact never becomes the cache entry — skip the extra copy
+            # on the serving hot path.  A fresh compilation's artifact IS
+            # the future cache entry and takes its own copy.
+            copy_training=not ctx.cache_hit,
         )
+        ctx.dispatcher = ctx.program.to_dispatcher(ctx.cost_estimator)
 
 
 def _single_variant(chain: Chain) -> Variant:

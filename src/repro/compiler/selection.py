@@ -101,36 +101,32 @@ def penalty(
     return best_selected / optimal_cost(chain, sizes) - 1.0
 
 
-def flop_cost_matrix(
-    variants: Sequence[Variant],
-    instances: np.ndarray,
-    term_block: int = 4096,
-) -> np.ndarray:
-    """Batched FLOP costs: ``(num_variants, num_instances)`` in one sweep.
+#: Largest ``terms x instances`` working set the evaluation sweep handles
+#: with direct element-wise powers; beyond it, the unique-exponent masked
+#: block sweep wins (np.unique overhead amortizes, powers collapse into
+#: repeated multiplies).
+DIRECT_EVAL_LIMIT = 65536
+
+#: Flattened cost terms of a variant pool: ``(coefficients (T,),
+#: exponents (T, n+1), owner variant index (T,))``.  Built once per pool
+#: by :func:`flatten_cost_terms`; evaluated on any instance batch by
+#: :func:`evaluate_cost_terms`.  The dispatcher caches one per selected
+#: set, so per-call dispatch pays only the evaluation sweep.
+TermStack = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def flatten_cost_terms(
+    variants: Sequence[Variant], num_symbols: int
+) -> TermStack:
+    """Stack every variant's monomial cost terms into one exponent matrix.
 
     Every variant's cost is a sum of monomial terms
     ``coeff * prod_s q_s^e_s``; stacking the terms of *all* variants into
-    one ``(terms, n+1)`` exponent matrix lets the whole cost matrix be
+    one ``(terms, n+1)`` exponent matrix lets whole cost matrices be
     evaluated with a handful of numpy broadcasts (one per distinct
     ``(symbol, exponent)`` pair — kernel costs are cubic, so at most
-    ``3 (n+1)``) instead of a Python loop per variant.  ``term_block``
-    bounds the ``(terms, instances)`` working set for long chains, whose
-    Catalan-many variants contribute tens of thousands of terms.
+    ``3 (n+1)``) instead of a Python loop per variant.
     """
-    instances = np.asarray(instances, dtype=np.float64)
-    if instances.ndim != 2:
-        raise ValueError(
-            f"instances must be a 2-D (count, n+1) array, got shape "
-            f"{instances.shape}"
-        )
-    num_instances = instances.shape[0]
-    num_symbols = instances.shape[1]
-    if num_instances == 0 or not len(variants):
-        # Degenerate inputs short-circuit to a well-shaped empty matrix:
-        # the broadcast-and-accumulate sweep below assumes at least one
-        # column to broadcast against and at least one owner row.
-        return np.zeros((len(variants), num_instances))
-
     coeffs: list[float] = []
     exponents: list[np.ndarray] = []
     owner: list[int] = []
@@ -142,13 +138,52 @@ def flop_cost_matrix(
             coeffs.append(coeff)
             exponents.append(row)
             owner.append(v)
-
-    costs = np.zeros((len(variants), num_instances))
     if not coeffs:
+        return (
+            np.zeros(0),
+            np.zeros((0, num_symbols), dtype=np.int64),
+            np.zeros(0, dtype=np.intp),
+        )
+    return np.asarray(coeffs), np.stack(exponents), np.asarray(owner, dtype=np.intp)
+
+
+def evaluate_cost_terms(
+    stack: TermStack,
+    num_variants: int,
+    instances: np.ndarray,
+    term_block: int = 4096,
+) -> np.ndarray:
+    """Evaluate a term stack on instances: ``(num_variants, count)`` costs.
+
+    ``term_block`` bounds the ``(terms, instances)`` working set for long
+    chains, whose Catalan-many variants contribute tens of thousands of
+    terms.
+    """
+    coeff_arr, exp_arr, owner_arr = stack
+    instances = np.asarray(instances, dtype=np.float64)
+    num_instances = instances.shape[0]
+    num_symbols = instances.shape[1] if instances.ndim == 2 else 0
+    costs = np.zeros((num_variants, num_instances))
+    if num_instances == 0 or coeff_arr.size == 0:
+        # Degenerate inputs short-circuit to a well-shaped empty/zero
+        # matrix: the sweep below assumes at least one column to broadcast
+        # against and at least one owner row.
         return costs
-    coeff_arr = np.asarray(coeffs)
-    exp_arr = np.stack(exponents)
-    owner_arr = np.asarray(owner, dtype=np.intp)
+
+    if coeff_arr.shape[0] * num_instances <= DIRECT_EVAL_LIMIT:
+        # Small working sets (per-call dispatch over a selected set, small
+        # batches): direct element-wise powers beat the unique-exponent
+        # masking below, whose np.unique calls dominate at this scale.
+        block = np.broadcast_to(
+            coeff_arr[:, None], (coeff_arr.shape[0], num_instances)
+        ).copy()
+        for sym in range(num_symbols):
+            exps = exp_arr[:, sym]
+            if not exps.any():
+                continue
+            block *= instances[:, sym][None, :] ** exps[:, None]
+        np.add.at(costs, owner_arr, block)
+        return costs
 
     for start in range(0, coeff_arr.shape[0], term_block):
         stop = min(start + term_block, coeff_arr.shape[0])
@@ -164,6 +199,29 @@ def flop_cost_matrix(
                 block[mask] *= column[None, :] ** int(exp)
         np.add.at(costs, owner_arr[start:stop], block)
     return costs
+
+
+def flop_cost_matrix(
+    variants: Sequence[Variant],
+    instances: np.ndarray,
+    term_block: int = 4096,
+) -> np.ndarray:
+    """Batched FLOP costs: ``(num_variants, num_instances)`` in one sweep.
+
+    One-shot composition of :func:`flatten_cost_terms` and
+    :func:`evaluate_cost_terms`; callers that evaluate the same pool
+    repeatedly (the dispatcher) flatten once and keep the stack.
+    """
+    instances = np.asarray(instances, dtype=np.float64)
+    if instances.ndim != 2:
+        raise ValueError(
+            f"instances must be a 2-D (count, n+1) array, got shape "
+            f"{instances.shape}"
+        )
+    if instances.shape[0] == 0 or not len(variants):
+        return np.zeros((len(variants), instances.shape[0]))
+    stack = flatten_cost_terms(variants, instances.shape[1])
+    return evaluate_cost_terms(stack, len(variants), instances, term_block)
 
 
 class CostMatrix:

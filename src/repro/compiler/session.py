@@ -240,6 +240,7 @@ class CompilerSession:
         self._front.run(ctx)
         assert ctx.chain is not None  # ParsePass ran
         key = self.cache.key(ctx.chain, options, self._pipeline_fingerprint)
+        ctx.cache_key = key  # stamped into the produced CompiledProgram
         return ctx, key
 
     def _finish(
@@ -269,16 +270,22 @@ class CompilerSession:
             self._back.run(ctx)
             if use_cache:
                 assert ctx.selected is not None and ctx.training_instances is not None
-                self.cache.put(
-                    key,
-                    CacheEntry(
-                        chain=ctx.chain,
-                        variants=tuple(ctx.selected),
-                        training_instances=np.array(
-                            ctx.training_instances, copy=True
-                        ),
-                    ),
-                )
+                # The dispatch pass already packaged the compilation as a
+                # portable CompiledProgram; cache the artifact itself.  A
+                # custom pipeline without the dispatch pass still caches a
+                # bare artifact built from the selection products.
+                entry = ctx.program
+                if entry is None:
+                    entry = CacheEntry.from_artifacts(
+                        ctx.chain,
+                        tuple(ctx.selected),
+                        ctx.training_instances,
+                        key=key,
+                        options=ctx.options,
+                        timings=ctx.timings,
+                        diagnostics=ctx.diagnostics,
+                    )
+                self.cache.put(key, entry)
 
         self._record_context(ctx)
         return GeneratedCode(
@@ -286,6 +293,7 @@ class CompilerSession:
             variants=list(ctx.selected or ()),
             dispatcher=ctx.dispatcher,
             training_instances=np.asarray(ctx.training_instances),
+            program=ctx.program,
         )
 
     def _record_context(self, ctx: PassContext) -> None:
@@ -301,9 +309,11 @@ class CompilerSession:
             cost_estimator=ctx.cost_estimator,
         )
         slim.chain = ctx.chain
+        slim.cache_key = ctx.cache_key
         slim.executed = ctx.executed
         slim.skipped = ctx.skipped
         slim.timings = ctx.timings
+        slim.diagnostics = ctx.diagnostics
         with self._lock:
             self.last_context = slim
 
@@ -365,11 +375,7 @@ class CompilerSession:
         # (not via a cache lookup, which could have been LRU-evicted when
         # the batch holds more structures than the cache capacity).
         entry_by_key = {
-            key: CacheEntry(
-                chain=generated.chain,
-                variants=tuple(generated.variants),
-                training_instances=generated.training_instances,
-            )
+            key: generated.to_program()
             for key, generated in zip(representatives, compiled)
         }
         results: list = [None] * len(chains)

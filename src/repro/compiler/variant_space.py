@@ -80,6 +80,14 @@ class VariantSpace:
 
     name: str = "<space>"
 
+    #: Instrumentation of the most recent :meth:`generate` call (pool size,
+    #: dedup hits, seed count, ...).  Every ``generate`` rebinds it on the
+    #: instance; the enumerate pass copies it into
+    #: ``PassContext.diagnostics["variant_pool"]`` for ``--timings`` and
+    #: the serve ``stats`` response.  (Class-level fallback for spaces that
+    #: have not generated yet.)
+    diagnostics: dict = {}
+
     def generate(
         self, chain: Chain, training_instances: Optional[np.ndarray]
     ) -> list[Variant]:  # pragma: no cover - interface
@@ -137,11 +145,15 @@ class ExhaustiveSpace(VariantSpace):
                     f" (> {EXHAUSTIVE_VARIANT_LIMIT}); use variant_space='dp'"
                     " (or 'auto'), or bound enumeration with max_variants"
                 )
-            return all_variants(chain)
+            pool = all_variants(chain)
+            self.diagnostics = self._diagnostics(len(pool), capped=False)
+            return pool
         if total <= self.max_variants:
             # The cap admits the full set: the caller explicitly sized the
             # enumeration, so the blowup guard does not apply.
-            return all_variants(chain)
+            pool = all_variants(chain)
+            self.diagnostics = self._diagnostics(len(pool), capped=False)
+            return pool
         trees: list[ParenTree] = []
         seen: set = set()
         for tree in iter_trees(chain.n):
@@ -149,10 +161,27 @@ class ExhaustiveSpace(VariantSpace):
                 break
             trees.append(tree)
             seen.add(_tree_key(tree))
+        forced = 0
         for tree in fanning_trees(chain):
             if _tree_key(tree) not in seen:
                 trees.append(tree)
+                forced += 1
+        self.diagnostics = self._diagnostics(
+            len(trees), capped=True, forced_fanning=forced
+        )
         return _build_pool(chain, trees)
+
+    def _diagnostics(
+        self, pool_size: int, *, capped: bool, forced_fanning: int = 0
+    ) -> dict:
+        return {
+            "strategy": self.name,
+            "pool_size": pool_size,
+            "dedup_hits": 0,  # Catalan enumeration yields distinct trees
+            "seed_count": 0,  # exhaustive pools are not seeded
+            "capped": capped,
+            "forced_fanning": forced_fanning,
+        }
 
     def cache_token(self) -> tuple:
         return (self.max_variants,)
@@ -212,27 +241,43 @@ class DPSeededSpace(VariantSpace):
         trees = fanning_trees(chain)
         seen = {_tree_key(tree) for tree in trees}
         budget = max(self.max_variants, len(trees))
+        dedup_hits = 0
 
         def admit(tree: ParenTree) -> bool:
+            nonlocal dedup_hits
             key = _tree_key(tree)
             if key in seen:
+                dedup_hits += 1
                 return False
             seen.add(key)
             trees.append(tree)
             return True
 
+        def finish(truncated: bool) -> list[Variant]:
+            self.diagnostics = {
+                "strategy": self.name,
+                "pool_size": len(trees),
+                "fanning": fanning,
+                "seed_count": seed_count,
+                "dedup_hits": dedup_hits,
+                "capped": truncated,
+            }
+            return _build_pool(chain, trees)
+
+        fanning = len(trees)
         seeds = dp_seed_trees(chain, training_instances, self.num_seeds)
+        seed_count = len(seeds)
         frontier = [tree for tree in seeds if len(trees) < budget and admit(tree)]
         for _ in range(self.neighborhood):
             next_frontier: list[ParenTree] = []
             for tree in frontier:
                 for neighbor in rotations(tree):
                     if len(trees) >= budget:
-                        return _build_pool(chain, trees)
+                        return finish(True)
                     if admit(neighbor):
                         next_frontier.append(neighbor)
             frontier = next_frontier
-        return _build_pool(chain, trees)
+        return finish(False)
 
     def cache_token(self) -> tuple:
         return (self.max_variants, self.num_seeds, self.neighborhood)

@@ -17,6 +17,8 @@ from repro.serve.backends import (
 )
 from repro.serve.frontend import (
     CompileServer,
+    decode_array,
+    encode_array,
     handle_request,
     make_tcp_server,
     serve_stream,
@@ -31,6 +33,8 @@ __all__ = [
     "TieredBackend",
     "default_backend",
     "CompileServer",
+    "decode_array",
+    "encode_array",
     "handle_request",
     "make_tcp_server",
     "serve_stream",

@@ -20,6 +20,18 @@ Request schema (``id`` is optional and echoed back verbatim):
     generated dispatch function would pick, and its estimated cost.
     ``source`` may be supplied instead of ``handle`` (compile-if-needed).
 
+``{"op": "execute", "handle": "...", "arrays": [...], "id": 5}``
+    Wire-level execution against a previously compiled handle: the client
+    ships one stored array per chain operand, the server loads the
+    compiled artifact, dispatches on the inferred sizes, runs the chosen
+    variant, and ships the result back.  Each array is either a nested
+    JSON list or an ``{"encoding": "npy", "data": "<base64>"}`` object
+    (base64 of the standard ``.npy`` byte stream — exactly what
+    ``numpy.save`` writes).  The response's ``result`` uses the same
+    encoding as the first request array (override with
+    ``"result_encoding": "npy" | "list"``).  ``source`` may replace
+    ``handle`` (compile-if-needed), as for ``dispatch``.
+
 ``{"op": "stats", "id": 3}``
     Service metrics (queue depth, coalesce rate, latency percentiles) and
     session cache counters.
@@ -39,15 +51,67 @@ all connections multiplexed onto one :class:`CompileService` worker pool.
 
 from __future__ import annotations
 
+import base64
+import io
 import json
 import socketserver
 import time
 from typing import IO, Optional
 
+import numpy as np
+
 from repro.serve.service import CompileService
 
-#: Protocol revision, reported by ``stats`` responses.
-PROTOCOL_VERSION = 1
+#: Protocol revision, reported by ``stats`` responses.  2 added the
+#: wire-level ``execute`` op (handle + npy/base64 arrays).
+PROTOCOL_VERSION = 2
+
+
+# -- array codec (the execute op's payload format) ---------------------------
+
+def encode_array(array: np.ndarray, encoding: str = "npy") -> object:
+    """Encode one array for the JSON-lines wire.
+
+    ``"npy"`` wraps the standard ``numpy.save`` byte stream in base64 —
+    compact, dtype/shape-exact, loadable by any numpy.  ``"list"`` is the
+    nested-list form for hand-written clients.
+    """
+    array = np.ascontiguousarray(array)
+    if encoding == "list":
+        return array.tolist()
+    if encoding == "npy":
+        buffer = io.BytesIO()
+        np.save(buffer, array, allow_pickle=False)
+        return {
+            "encoding": "npy",
+            "data": base64.b64encode(buffer.getvalue()).decode("ascii"),
+        }
+    raise ValueError(f"unknown array encoding {encoding!r}; use 'npy' or 'list'")
+
+
+def decode_array(payload: object) -> np.ndarray:
+    """Decode one wire array (nested lists, or an ``npy`` base64 object)."""
+    if isinstance(payload, (list, tuple)):
+        return np.asarray(payload, dtype=np.float64)
+    if isinstance(payload, dict):
+        encoding = payload.get("encoding", "npy")
+        data = payload.get("data")
+        if encoding == "list":
+            return np.asarray(data, dtype=np.float64)
+        if encoding == "npy":
+            if not isinstance(data, str):
+                raise ValueError("'npy' array payload needs base64 string 'data'")
+            try:
+                raw = base64.b64decode(data, validate=True)
+                array = np.load(io.BytesIO(raw), allow_pickle=False)
+            except Exception as exc:
+                raise ValueError(f"undecodable npy array payload: {exc}") from exc
+            return np.asarray(array, dtype=np.float64)
+        raise ValueError(f"unknown array encoding {encoding!r}")
+    raise ValueError(
+        "each array must be a nested JSON list or an "
+        '{"encoding": "npy", "data": "<base64>"} object'
+    )
 
 
 def _error(payload_id, message: str, exc: Optional[BaseException] = None) -> dict:
@@ -86,7 +150,7 @@ def _handle_compile(service: CompileService, payload: dict) -> dict:
     future = service.submit(chain, **options)
     generated = future.result()
     elapsed_ms = 1e3 * (time.perf_counter() - start)
-    return {
+    response = {
         "ok": True,
         "handle": getattr(future, "handle", None),
         "chain": str(generated.chain),
@@ -94,27 +158,77 @@ def _handle_compile(service: CompileService, payload: dict) -> dict:
         "num_variants": len(generated.variants),
         "elapsed_ms": round(elapsed_ms, 3),
     }
+    if payload.get("artifact"):
+        # Ship the full versioned CompiledProgram so the client can run
+        # dispatch/execute offline (repro.api.load_program on the saved
+        # object, no further server round-trips).
+        response["artifact"] = json.loads(generated.to_program().dumps())
+    return response
+
+
+def _resolve_handle(service: CompileService, payload: dict, op: str) -> str:
+    """The request's handle, compiling ``source`` first when supplied."""
+    handle = payload.get("handle")
+    if handle is not None:
+        return handle
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError(f"{op!r} needs a 'handle' or a 'source'")
+    chain = _parse_single_chain(source)
+    future = service.submit(chain)
+    future.result()
+    return getattr(future, "handle", None)
 
 
 def _handle_dispatch(service: CompileService, payload: dict) -> dict:
     sizes = payload.get("sizes")
     if not isinstance(sizes, (list, tuple)) or not sizes:
         raise ValueError("'dispatch' needs a non-empty 'sizes' array")
-    handle = payload.get("handle")
-    if handle is None:
-        source = payload.get("source")
-        if not isinstance(source, str) or not source.strip():
-            raise ValueError("'dispatch' needs a 'handle' or a 'source'")
-        chain = _parse_single_chain(source)
-        future = service.submit(chain)
-        future.result()
-        handle = getattr(future, "handle", None)
+    handle = _resolve_handle(service, payload, "dispatch")
     variant, cost = service.dispatch(handle, [int(s) for s in sizes])
     return {
         "ok": True,
         "handle": handle,
         "variant": variant.name,
         "cost": float(cost),
+    }
+
+
+def _handle_execute(service: CompileService, payload: dict) -> dict:
+    from repro.compiler.executor import execute_variant, infer_sizes
+
+    arrays_payload = payload.get("arrays")
+    if not isinstance(arrays_payload, list) or not arrays_payload:
+        raise ValueError("'execute' needs a non-empty 'arrays' list")
+    handle = _resolve_handle(service, payload, "execute")
+    generated = service.lookup(handle)
+    if generated is None:
+        raise KeyError(f"unknown compilation handle {handle!r}")
+    arrays = [decode_array(entry) for entry in arrays_payload]
+    start = time.perf_counter()
+    sizes = infer_sizes(generated.chain, arrays)
+    variant, cost = generated.select(sizes)
+    result = execute_variant(variant, arrays)
+    elapsed_ms = 1e3 * (time.perf_counter() - start)
+    encoding = payload.get("result_encoding")
+    if encoding is None:
+        # Mirror the first request array's encoding: bare lists and
+        # {"encoding": "list"} objects both answer in lists.
+        first = arrays_payload[0]
+        if isinstance(first, list):
+            encoding = "list"
+        elif isinstance(first, dict):
+            encoding = first.get("encoding", "npy")
+        else:
+            encoding = "npy"
+    return {
+        "ok": True,
+        "handle": handle,
+        "sizes": [int(s) for s in sizes],
+        "variant": variant.name,
+        "cost": float(cost),
+        "result": encode_array(result, encoding),
+        "elapsed_ms": round(elapsed_ms, 3),
     }
 
 
@@ -129,6 +243,8 @@ def handle_request(service: CompileService, payload: dict) -> dict:
             response = _handle_compile(service, payload)
         elif op == "dispatch":
             response = _handle_dispatch(service, payload)
+        elif op == "execute":
+            response = _handle_execute(service, payload)
         elif op == "stats":
             response = {
                 "ok": True,
@@ -142,7 +258,8 @@ def handle_request(service: CompileService, payload: dict) -> dict:
         else:
             return _error(
                 payload_id,
-                f"unknown op {op!r}; expected compile|dispatch|stats|warm|ping",
+                f"unknown op {op!r}; expected "
+                "compile|dispatch|execute|stats|warm|ping",
             )
     except KeyError as exc:
         return _error(payload_id, str(exc.args[0]) if exc.args else str(exc), exc)

@@ -1,0 +1,116 @@
+"""Process-pool compilation workers: wire-level artifact exchange.
+
+Compilation is CPU-bound Python, so a thread pool over *distinct*
+structures is GIL-serialized.  ``CompileService(workers_mode="process")``
+fans the expensive back half of compilation out to worker processes
+instead; this module is the worker side of that contract.
+
+The exchange is deliberately wire-level, not pickle-level: the parent
+ships a JSON-clean request (the chain in the
+:mod:`repro.codegen.serialize` dict form, the
+:class:`~repro.compiler.pipeline.CompileOptions` as a plain dict, the
+explicit training instances as lists when present) and the worker answers
+with the :class:`~repro.compiler.program.CompiledProgram` **wire format**
+(:meth:`~repro.compiler.program.CompiledProgram.dumps` text).  Nothing
+that crosses the pipe is a live domain object, which keeps the protocol
+identical to what a remote compile farm over sockets would speak — the
+process pool is just the shortest possible wire.
+
+Each worker process holds one long-lived
+:class:`~repro.compiler.session.CompilerSession` (created lazily on first
+job), so repeated structures within a worker hit its local cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+import numpy as np
+
+_WORKER_SESSION = None
+
+
+def _worker_session():
+    """The per-process compilation session (lazy, reused across jobs)."""
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        from repro.compiler.session import CompilerSession
+
+        _WORKER_SESSION = CompilerSession(cache_capacity=64)
+    return _WORKER_SESSION
+
+
+def encode_request(ctx, use_cache: bool = True) -> dict[str, Any]:
+    """A JSON-clean compile request from a prepared :class:`PassContext`.
+
+    The context's chain is already parsed and simplified by the front
+    passes, so the request pins ``simplify=False`` — the worker replays
+    exactly the back half the parent would have run, guaranteeing the
+    returned artifact's chain is structurally identical to the parent's
+    (a requirement for rebinding the result onto follower chains).
+    """
+    from repro.codegen.serialize import chain_to_dict
+    from repro.compiler.program import options_metadata
+
+    options = options_metadata(ctx.options)
+    options["simplify"] = False
+    payload: dict[str, Any] = {
+        "chain": chain_to_dict(ctx.chain),
+        "options": options,
+        "use_cache": bool(use_cache),
+    }
+    if ctx.training_instances is not None:
+        payload["training_instances"] = np.asarray(
+            ctx.training_instances, dtype=np.float64
+        ).tolist()
+    return payload
+
+
+def compile_job(request: dict[str, Any]) -> str:
+    """Run one compilation in the worker; returns the artifact wire text."""
+    from repro.codegen.serialize import chain_from_dict
+    from repro.compiler.pipeline import CompileOptions
+
+    options_payload = dict(request["options"])
+    options_payload["size_range"] = tuple(options_payload["size_range"])
+    # The fingerprint is recomputed from the shipped training data by the
+    # session's option resolution; the parent's value rides along only as
+    # provenance and must not preempt that.
+    options_payload.pop("training_fingerprint", None)
+    chain = chain_from_dict(request["chain"])
+    training: Optional[np.ndarray] = None
+    if request.get("training_instances") is not None:
+        training = np.asarray(request["training_instances"], dtype=np.float64)
+    session = _worker_session()
+    generated = session.compile(
+        chain,
+        training_instances=training,
+        use_cache=bool(request.get("use_cache", True)),
+        **{
+            name: value
+            for name, value in options_payload.items()
+            if name in session.OPTION_FIELDS
+        },
+    )
+    return generated.to_program().dumps()
+
+
+def initialize_worker() -> None:
+    """Pool initializer: every worker imports the compiler stack at boot.
+
+    Passed as ``ProcessPoolExecutor(initializer=...)`` so the import cost
+    is paid during worker startup in *every* process — not only in
+    whichever workers happen to pick up warm-up jobs.
+    """
+    _worker_session()
+
+
+def warmup_job() -> int:
+    """A no-op job; returns the worker's pid.
+
+    ``CompileService.prestart`` submits one per pool slot purely to force
+    the (lazy) spawn of all workers; the actual warm-up happens in
+    :func:`initialize_worker` as each one boots.
+    """
+    return os.getpid()

@@ -16,6 +16,13 @@ into that service:
   expensive back half (:meth:`CompilerSession.finish`); a full queue fails
   the future with :class:`~repro.errors.ServiceOverloadedError` instead of
   buffering unboundedly (back-pressure, not latency collapse);
+* with ``workers_mode="process"``, the worker threads delegate the
+  CPU-bound pipeline to a process pool and receive the result as a
+  serialized :class:`~repro.compiler.program.CompiledProgram` artifact
+  over the pipe (:mod:`repro.serve.procpool`), sidestepping the GIL on
+  workloads of *distinct* structures; coalescing, the bounded queue, and
+  the session cache work identically in both modes (the artifact is
+  rebound to each caller's chain in-parent, exactly like a cache hit);
 * requests are **coalesced** on their compilation key (the
   :mod:`repro.ir.structural` structural key + options + pipeline
   fingerprint): while a compilation for a key is in flight, further
@@ -43,7 +50,6 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from repro.errors import ServiceClosedError, ServiceOverloadedError
-from repro.compiler.cache import CacheEntry
 from repro.compiler.dispatch import CostEstimator
 from repro.compiler.pipeline import PassContext
 from repro.compiler.session import CompilerSession
@@ -90,6 +96,17 @@ class CompileService:
         defaults).  A fresh one is created when omitted.
     workers:
         Worker-thread count (defaults to :func:`default_worker_count`).
+        In process mode this is also the process-pool size.
+    workers_mode:
+        ``"thread"`` (default): compilations run on the worker threads.
+        ``"process"``: worker threads delegate cache-missing compilations
+        to a process pool and ship the artifacts back over pipes
+        (:mod:`repro.serve.procpool`) — the GIL-free mode for heavy
+        fan-out over distinct structures.
+    mp_context:
+        Multiprocessing start method for process mode (default
+        ``"spawn"``: slower startup, but safe with the service's own
+        threads; see :meth:`prestart`).
     max_queue:
         Bound on *distinct* queued compilations.  Coalesced followers ride
         along with their leader and never occupy a slot, so the bound
@@ -108,6 +125,8 @@ class CompileService:
         session: Optional[CompilerSession] = None,
         *,
         workers: Optional[int] = None,
+        workers_mode: str = "thread",
+        mp_context: str = "spawn",
         max_queue: int = 256,
         warm: bool = True,
         registry_capacity: int = 256,
@@ -117,9 +136,14 @@ class CompileService:
             raise ValueError("max_queue must be >= 1")
         if registry_capacity < 1:
             raise ValueError("registry_capacity must be >= 1")
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', got {workers_mode!r}"
+            )
         self.session = session if session is not None else CompilerSession(cache_capacity=256)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.warmed = self.session.warm() if warm else 0
+        self.workers_mode = workers_mode
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self.metrics.queue_depth_probe = self._queue.qsize
         self._lock = threading.Lock()
@@ -130,6 +154,23 @@ class CompileService:
         count = workers if workers is not None else default_worker_count()
         if count < 1:
             raise ValueError("workers must be >= 1")
+        self._pool = None
+        self._pool_size = 0
+        self._default_fingerprint: Optional[str] = None
+        if workers_mode == "process":
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.serve import procpool
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=count,
+                mp_context=multiprocessing.get_context(mp_context),
+                # Every worker imports the compiler stack as it boots, so
+                # warm-up does not depend on which worker drains which job.
+                initializer=procpool.initialize_worker,
+            )
+            self._pool_size = count
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
@@ -138,6 +179,27 @@ class CompileService:
         ]
         for worker in self._workers:
             worker.start()
+
+    def prestart(self) -> None:
+        """Spin the process pool's workers up before serving traffic.
+
+        Spawn-mode workers boot lazily (interpreter + numpy + repro
+        imports via the pool initializer, ~seconds); a long-lived service
+        calls this once at startup so the first compilations are not
+        taxed.  Submitting one trivial job per slot forces every worker
+        to spawn; the imports happen in each worker's initializer
+        regardless of who drains the jobs.  No-op in thread mode.
+        """
+        if self._pool is None:
+            return
+        from repro.serve import procpool
+
+        futures = [
+            self._pool.submit(procpool.warmup_job)
+            for _ in range(self._pool_size)
+        ]
+        for future in futures:
+            future.result()
 
     # -- client API ----------------------------------------------------------
 
@@ -367,14 +429,29 @@ class CompileService:
         with self._lock:
             registry_entries = len(self._registry)
             inflight = len(self._inflight)
-        return {
+        stats: dict[str, object] = {
             "service": self.metrics.snapshot(),
             "cache": self.session.cache_stats().as_dict(),
             "warmed": self.warmed,
             "workers": len(self._workers),
+            "workers_mode": self.workers_mode,
             "inflight": inflight,
             "registry_entries": registry_entries,
         }
+        last = self.session.last_context
+        if last is not None and (last.timings or last.diagnostics):
+            stats["last_compile"] = {
+                "timings_ms": {
+                    name: round(1e3 * seconds, 3)
+                    for name, seconds in last.timings.items()
+                },
+                **(
+                    {"variant_pool": last.diagnostics.get("variant_pool")}
+                    if last.diagnostics.get("variant_pool")
+                    else {}
+                ),
+            }
+        return stats
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting work; drain the queue; join the workers.
@@ -397,6 +474,26 @@ class CompileService:
         if wait:
             for worker in workers:
                 worker.join()
+        if workers and self._pool is not None:
+            # The pool may only shut down once every worker thread has
+            # exited — already-queued compilations must complete (the
+            # contract above), and they need the pool.  With wait=False
+            # the sequencing happens on a reaper thread.
+            pool = self._pool
+
+            def _drain_then_shutdown() -> None:
+                for worker in workers:
+                    worker.join()
+                pool.shutdown(wait=True)
+
+            if wait:
+                _drain_then_shutdown()  # workers already joined: no-op joins
+            else:
+                threading.Thread(
+                    target=_drain_then_shutdown,
+                    name="repro-serve-pool-reaper",
+                    daemon=True,
+                ).start()
 
     def __enter__(self) -> "CompileService":
         return self
@@ -426,13 +523,68 @@ class CompileService:
             finally:
                 self._queue.task_done()
 
+    def _offload_to_pool(self) -> bool:
+        """Whether this service may delegate compiles to the process pool.
+
+        The pool workers run the *default* pass pipeline; a session whose
+        pipeline was customized (passes removed/swapped/spliced, or a
+        pinned variant space) must compile in-parent, otherwise the worker
+        would produce a different-pipeline artifact and cache it under the
+        custom pipeline's key.  Checked per compile because the session's
+        pipeline can be reassigned after service construction.
+        """
+        if self._pool is None:
+            return False
+        from repro.compiler.pipeline import default_pipeline
+
+        if self._default_fingerprint is None:
+            self._default_fingerprint = default_pipeline().fingerprint()
+        return self.session.pipeline.fingerprint() == self._default_fingerprint
+
+    def _compile_leader(self, record: _Inflight) -> tuple["GeneratedCode", bool]:
+        """Finish the leader's compilation; returns (result, pipeline_ran).
+
+        Thread mode (and process mode under a customized session pipeline)
+        runs the back pipeline in-place on this worker thread.  Process
+        mode first consults the session cache in-parent, then delegates a
+        miss to the process pool as a wire-level request and rebinds the
+        returned artifact exactly as a cache hit would be — so followers,
+        the registry, and custom cost estimators behave identically in
+        both modes.
+        """
+        leader, use_cache = record.leader, record.use_cache
+        if not self._offload_to_pool():
+            generated = self.session.finish(
+                leader.ctx, record.key, use_cache=use_cache
+            )
+            return generated, not leader.ctx.cache_hit
+        entry = self.session.cache.get(record.key) if use_cache else None
+        compiled = False
+        if entry is None:
+            from repro.compiler.program import CompiledProgram
+            from repro.serve import procpool
+
+            request = procpool.encode_request(leader.ctx, use_cache=use_cache)
+            wire = self._pool.submit(procpool.compile_job, request).result()
+            entry = CompiledProgram.loads(wire)
+            compiled = True
+            if use_cache:
+                self.session.cache.put(record.key, entry)
+            # Surface the worker's instrumentation on the parent context:
+            # the rebind below runs as a cache hit, and without this the
+            # artifact/stats would claim a pipeline-free compilation.
+            leader.ctx.timings.update(entry.timings)
+            leader.ctx.diagnostics.update(entry.diagnostics)
+        generated = self.session.finish(
+            leader.ctx, record.key, use_cache=use_cache, entry=entry
+        )
+        return generated, compiled
+
     def _process(self, record: _Inflight) -> None:
         use_cache = record.use_cache
         leader = record.leader
         try:
-            generated = self.session.finish(
-                leader.ctx, record.key, use_cache=use_cache
-            )
+            generated, pipeline_ran = self._compile_leader(record)
         except Exception as exc:
             followers = self._finalize(record)
             self.metrics.record_error()
@@ -445,20 +597,16 @@ class CompileService:
         # request for the same key must start (or cache-hit) a fresh
         # compilation rather than attach to a finished record.
         followers = self._finalize(record)
-        if leader.ctx.cache_hit:
-            self.metrics.record_cache_hit()
-        else:
+        if pipeline_ran:
             self.metrics.record_compiled()
+        else:
+            self.metrics.record_cache_hit()
         if use_cache:
             self._register(record.key, generated)
         self._complete(leader, generated)
         if not followers:
             return
-        entry = CacheEntry(
-            chain=generated.chain,
-            variants=tuple(generated.variants),
-            training_instances=generated.training_instances,
-        )
+        entry = generated.to_program()
         for follower in followers:
             try:
                 rebound = self.session.finish(

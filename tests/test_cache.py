@@ -13,6 +13,7 @@ from repro.compiler.cache import (
     compilation_key,
     rebind_variants,
 )
+from repro.compiler.program import CompiledProgram
 from repro.compiler.pipeline import CompileOptions
 from repro.compiler.selection import essential_set
 from repro.experiments.sampling import sample_instances
@@ -132,15 +133,20 @@ class TestDiskLayer:
         disk = DiskCache(tmp_path)
         disk.store("k" * 64, entry)
 
-        # The stored payload embeds the serialize.dumps format verbatim.
+        # The stored file is a verbatim CompiledProgram artifact whose
+        # "program" object embeds the serialize.dumps format.
         payload = json.loads(disk.path_for("k" * 64).read_text())
         loaded_chain, loaded_variants = serialize.loads(
-            json.dumps(payload["compiled"])
+            json.dumps(payload["program"])
         )
         assert loaded_chain == chain
         assert [v.signature() for v in loaded_variants] == [
             v.signature() for v in entry.variants
         ]
+        # ... and is directly loadable as a portable artifact.
+        program = CompiledProgram.load(disk.path_for("k" * 64))
+        assert program.key == "k" * 64
+        assert program.chain == chain
 
         restored = disk.load("k" * 64)
         assert restored is not None

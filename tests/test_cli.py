@@ -40,6 +40,85 @@ class TestCli:
         )
         assert main(["compile", "--file", str(path), "--train", "20"]) == 0
 
+    def test_compile_output_then_run_describe_and_dispatch(self, tmp_path, capsys):
+        source = (
+            "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+            " Matrix C <General, Singular>; R := A * B * C;"
+        )
+        artifact = tmp_path / "prog.json"
+        assert main(
+            ["compile", "--source", source, "--train", "40",
+             "--output", str(artifact)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote compiled artifact" in out
+        assert artifact.exists()
+
+        assert main(["run", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled program for chain" in out
+
+        assert main(["run", str(artifact), "--sizes", "10,200,5,100"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatched to:" in out
+
+    def test_run_executes_npz_arrays(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.api import load_program
+        from repro.compiler.executor import naive_evaluate
+
+        source = (
+            "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+            " R := A * B;"
+        )
+        artifact = tmp_path / "prog.json"
+        assert main(
+            ["compile", "--source", source, "--train", "30",
+             "--output", str(artifact)]
+        ) == 0
+        capsys.readouterr()
+        rng = np.random.default_rng(4)
+        a, b = rng.standard_normal((5, 3)), rng.standard_normal((3, 7))
+        npz = tmp_path / "arrays.npz"
+        np.savez(npz, A=a, B=b)
+        out_file = tmp_path / "result.npy"
+        assert main(
+            ["run", str(artifact), "--npz", str(npz), "--out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dispatched to:" in out
+        result = np.load(out_file)
+        generated = load_program(artifact)
+        np.testing.assert_allclose(result, naive_evaluate(generated.chain, [a, b]))
+
+    def test_run_rejects_non_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["run", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_output_rejects_expression(self, tmp_path, capsys):
+        source = "Matrix A <General, Singular>; R := A + 2 * A;"
+        assert main(
+            ["compile", "--source", source, "--train", "20",
+             "--output", str(tmp_path / "x.json")]
+        ) == 2
+        assert "one artifact per compiled chain" in capsys.readouterr().err
+
+    def test_compile_timings_prints_variant_pool(self, capsys):
+        source = (
+            "Matrix A <General, Singular>; Matrix B <General, Singular>;"
+            " Matrix C <General, Singular>; R := A * B * C;"
+        )
+        assert main(
+            ["compile", "--source", source, "--train", "30", "--timings"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pass timings:" in out
+        assert "variant pool:" in out
+        assert "strategy=exhaustive" in out
+
     def test_compile_without_input_fails(self, capsys):
         assert main(["compile"]) == 2
 

@@ -137,3 +137,25 @@ class TestCacheWarmCommand:
                      str(tmp_path / "nothing")]) == 0
         out = capsys.readouterr().out
         assert "warmed 0 cache entries" in out
+
+
+class TestServeProcessMode:
+    def test_process_mode_serves_compile_and_execute(self, monkeypatch, capsys):
+        responses, err = run_serve(
+            monkeypatch,
+            capsys,
+            [
+                {"op": "compile", "source": SOURCE,
+                 "options": {"num_training_instances": 20}, "id": 1},
+                {"op": "execute", "source": SOURCE,
+                 "arrays": [[[1.0, 2.0], [3.0, 4.0]], [[5.0], [6.0]]],
+                 "id": 2},
+                {"op": "stats", "id": 3},
+            ],
+            extra_args=["--workers-mode", "process"],
+        )
+        assert "process pool ready" in err
+        assert all(r["ok"] for r in responses), responses
+        assert responses[2]["workers_mode"] == "process"
+        # [[1,2],[3,4]] @ [[5],[6]] = [[17],[39]]
+        assert responses[1]["result"] == [[17.0], [39.0]]

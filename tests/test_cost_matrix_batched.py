@@ -118,3 +118,53 @@ class TestDegenerateInputs:
         assert matrix.num_instances == 0
         assert matrix.costs.shape == (len(matrix.variants), 0)
         assert matrix.ratios([0]).shape == (0,)
+
+
+class TestTermStack:
+    """The flatten-once/evaluate-many split behind the dispatcher hot path."""
+
+    def test_small_and_blocked_paths_agree(self, rng, monkeypatch):
+        from repro.compiler import selection
+        from repro.compiler.selection import (
+            evaluate_cost_terms,
+            flatten_cost_terms,
+        )
+
+        chain = random_option_chain(6, rng)
+        variants = all_variants(chain)
+        instances = sample_instances(chain, 30, rng)
+        stack = flatten_cost_terms(variants, chain.n + 1)
+        small = evaluate_cost_terms(stack, len(variants), instances)
+        # Force the masked block sweep onto the same data (threshold 0
+        # disables the direct-pow path; a tiny term_block chunks it).
+        monkeypatch.setattr(selection, "DIRECT_EVAL_LIMIT", 0)
+        blocked = evaluate_cost_terms(
+            stack, len(variants), instances, term_block=3
+        )
+        np.testing.assert_allclose(small, blocked)
+        for i, variant in enumerate(variants):
+            np.testing.assert_allclose(
+                small[i], variant.flop_cost_many(instances)
+            )
+
+    def test_empty_stack_evaluates_to_zeros(self):
+        from repro.compiler.selection import (
+            evaluate_cost_terms,
+            flatten_cost_terms,
+        )
+
+        stack = flatten_cost_terms([], 4)
+        costs = evaluate_cost_terms(stack, 0, np.zeros((5, 4)))
+        assert costs.shape == (0, 5)
+
+    def test_dispatcher_caches_the_stack(self, rng):
+        from repro.compiler.dispatch import Dispatcher
+
+        chain = general_chain(4)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        assert dispatcher._term_stack is None
+        dispatcher.select((4, 5, 6, 7, 8))
+        stack = dispatcher._term_stack
+        assert stack is not None
+        dispatcher.select((8, 7, 6, 5, 4))
+        assert dispatcher._term_stack is stack  # built once, reused

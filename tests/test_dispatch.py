@@ -94,6 +94,94 @@ class TestSelection:
         assert worst.signature() != best.signature()
 
 
+class TestBatchedSelection:
+    def test_select_many_matches_per_instance_select(self):
+        chain = general_chain(4)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        rng = np.random.default_rng(3)
+        instances = sample_instances(chain, 40, rng, low=2, high=500)
+        batched = dispatcher.select_many(instances)
+        assert len(batched) == 40
+        for q, (variant, cost) in zip(instances, batched):
+            q = tuple(int(x) for x in q)
+            expected_cost = min(v.flop_cost(q) for v in dispatcher.variants)
+            assert cost == pytest.approx(expected_cost)
+            assert variant.flop_cost(q) == pytest.approx(cost)
+
+    def test_select_many_keeps_first_minimum_tie_break(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        duplicated = variants + variants  # every cost ties pairwise
+        dispatcher = Dispatcher(chain, duplicated)
+        picks = dispatcher.select_many([(5, 6, 7, 8), (100, 2, 3, 2)])
+        for variant, _ in picks:
+            # The winner is always from the first copy of the list.
+            assert duplicated.index(variant) < len(variants)
+
+    def test_cost_matrix_shape_and_values(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        rng = np.random.default_rng(5)
+        instances = sample_instances(chain, 7, rng)
+        matrix = dispatcher.cost_matrix(instances)
+        assert matrix.shape == (len(variants), 7)
+        for i, variant in enumerate(variants):
+            for j, q in enumerate(instances):
+                q = tuple(int(x) for x in q)
+                assert matrix[i, j] == pytest.approx(variant.flop_cost(q))
+
+    def test_single_vector_and_empty_batch(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        matrix = dispatcher.cost_matrix((4, 5, 6, 7))
+        assert matrix.shape == (len(dispatcher), 1)
+        assert dispatcher.select_many(np.empty((0, 4))) == []
+
+    def test_select_many_with_custom_estimator(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+
+        def negated(variant, sizes):  # prefers the *worst* FLOP variant
+            return -variant.flop_cost(sizes)
+
+        dispatcher = Dispatcher(chain, variants, cost_estimator=negated)
+        q = (2, 3, 2, 100)
+        [(variant, cost)] = dispatcher.select_many([q])
+        worst = max(v.flop_cost(q) for v in variants)
+        assert -cost == pytest.approx(worst)
+        assert variant.flop_cost(q) == pytest.approx(worst)
+
+    def test_variant_list_changes_invalidate_the_term_stack(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (2, 3, 2, 100)
+        dispatcher.select(q)  # builds the cached stack
+        # Reassignment resets the cache outright...
+        dispatcher.variants = [variants[0]]
+        picked, cost = dispatcher.select(q)
+        assert picked is variants[0]
+        assert cost == pytest.approx(variants[0].flop_cost(q))
+        # ...and in-place growth is caught by the length guard.
+        dispatcher.variants.extend(variants[1:])
+        picked, cost = dispatcher.select(q)
+        best = min(v.flop_cost(q) for v in variants)
+        assert cost == pytest.approx(best)
+
+    def test_validates_every_row(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        with pytest.raises(Exception):
+            dispatcher.select_many([(4, 5, 6, 7), (4, 5, 6)])  # short row
+
+    def test_rejects_bad_rank(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        with pytest.raises(DispatchError, match="2-D"):
+            dispatcher.cost_matrix(np.zeros((2, 2, 2)))
+
+
 class TestExecution:
     @pytest.mark.parametrize("seed", range(5))
     def test_end_to_end_matches_oracle(self, seed):

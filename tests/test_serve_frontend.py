@@ -8,7 +8,12 @@ import threading
 import pytest
 
 from repro.serve import CompileService, make_tcp_server
-from repro.serve.frontend import handle_line, handle_request, serve_stream
+from repro.serve.frontend import (
+    PROTOCOL_VERSION,
+    handle_line,
+    handle_request,
+    serve_stream,
+)
 
 SOURCE_AB = (
     "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;"
@@ -92,6 +97,139 @@ class TestHandleRequest:
         assert response["ok"] is False
         assert "unknown compilation handle" in response["error"]
 
+    def test_compile_can_ship_the_artifact(self, service):
+        from repro.compiler.program import CompiledProgram
+
+        response = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_AB, "artifact": True,
+             "options": {"num_training_instances": 20}},
+        )
+        assert response["ok"] is True
+        program = CompiledProgram.loads(json.dumps(response["artifact"]))
+        assert program.key == response["handle"]
+        assert [v.name for v in program.variants] == response["variants"]
+
+    def test_execute_npy_arrays_match_in_process_execution(self, service):
+        import numpy as np
+
+        from repro.compiler.executor import (
+            naive_evaluate,
+            random_instance_arrays,
+        )
+        from repro.serve.frontend import decode_array, encode_array
+
+        compiled = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 25}},
+        )
+        generated = service.lookup(compiled["handle"])
+        rng = np.random.default_rng(5)
+        arrays = random_instance_arrays(generated.chain, (7, 4, 9, 3), rng)
+        response = handle_request(
+            service,
+            {
+                "op": "execute",
+                "handle": compiled["handle"],
+                "arrays": [encode_array(a) for a in arrays],
+                "id": "x1",
+            },
+        )
+        assert response["ok"] is True, response
+        assert response["id"] == "x1"
+        assert response["variant"] in compiled["variants"]
+        assert response["sizes"] == [7, 4, 9, 3]
+        result = decode_array(response["result"])
+        # The wire result equals both the in-process dispatcher execution
+        # and the dense-numpy oracle.
+        np.testing.assert_allclose(result, generated(*arrays))
+        np.testing.assert_allclose(
+            result, naive_evaluate(generated.chain, arrays), atol=1e-8
+        )
+
+    def test_execute_list_arrays_and_json_round_trip(self, service):
+        import numpy as np
+
+        from repro.compiler.executor import random_instance_arrays
+
+        compiled = handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_AB,
+             "options": {"num_training_instances": 20}},
+        )
+        generated = service.lookup(compiled["handle"])
+        rng = np.random.default_rng(6)
+        arrays = random_instance_arrays(generated.chain, (5, 3, 4), rng)
+        # Whole round goes through the text protocol, like a real client.
+        line = json.dumps(
+            {"op": "execute", "handle": compiled["handle"],
+             "arrays": [a.tolist() for a in arrays]}
+        )
+        response = json.loads(handle_line(service, line))
+        assert response["ok"] is True, response
+        # List input -> list-encoded result.
+        assert isinstance(response["result"], list)
+        np.testing.assert_allclose(
+            np.asarray(response["result"]), generated(*arrays)
+        )
+        # Dict-wrapped list arrays also answer in lists (the declared
+        # encoding wins, not the payload's JSON type).
+        wrapped = handle_request(
+            service,
+            {"op": "execute", "handle": compiled["handle"],
+             "arrays": [
+                 {"encoding": "list", "data": a.tolist()} for a in arrays
+             ]},
+        )
+        assert wrapped["ok"] is True
+        assert isinstance(wrapped["result"], list)
+
+    def test_execute_compile_if_needed_and_errors(self, service):
+        import numpy as np
+
+        from repro.compiler.executor import random_instance_arrays
+        from repro.ir.parser import parse_program
+
+        chain = parse_program(SOURCE_AB).chain
+        rng = np.random.default_rng(7)
+        arrays = random_instance_arrays(chain, (4, 5, 6), rng)
+        response = handle_request(
+            service,
+            {"op": "execute", "source": SOURCE_AB,
+             "arrays": [a.tolist() for a in arrays]},
+        )
+        assert response["ok"] is True
+        assert response["handle"]
+
+        assert handle_request(
+            service, {"op": "execute", "handle": "nope", "arrays": [[1.0]]}
+        )["ok"] is False
+        assert handle_request(
+            service, {"op": "execute", "handle": response["handle"]}
+        )["ok"] is False  # missing arrays
+        bad = handle_request(
+            service,
+            {"op": "execute", "handle": response["handle"],
+             "arrays": [{"encoding": "npy", "data": "!!!notbase64"}] * 2},
+        )
+        assert bad["ok"] is False and "npy" in bad["error"]
+
+    def test_stats_include_last_compile_diagnostics(self, service):
+        handle_request(
+            service,
+            {"op": "compile", "source": SOURCE_ABC,
+             "options": {"num_training_instances": 20}},
+        )
+        stats = handle_request(service, {"op": "stats"})
+        assert stats["workers_mode"] == "thread"
+        last = stats["last_compile"]
+        assert "enumerate" in last["timings_ms"]
+        pool = last["variant_pool"]
+        assert pool["strategy"] == "exhaustive"
+        assert pool["requested"] == "auto"
+        assert pool["pool_size"] >= 1
+
     def test_stats_and_ping_and_warm(self, service):
         handle_request(
             service,
@@ -100,7 +238,7 @@ class TestHandleRequest:
         )
         stats = handle_request(service, {"op": "stats", "id": 3})
         assert stats["ok"] is True
-        assert stats["protocol_version"] == 1
+        assert stats["protocol_version"] == PROTOCOL_VERSION
         assert stats["service"]["requests"] == 1
         assert stats["cache"]["misses"] == 1
         assert handle_request(service, {"op": "ping"})["pong"] is True

@@ -364,3 +364,58 @@ class TestReviewRegressions:
             assert [_tree_key(t) for t in fanning_trees(chain)] == [
                 _tree_key(t) for t in distinct_fanning_trees(chain).values()
             ]
+
+
+class TestDiagnostics:
+    def test_exhaustive_space_reports_pool(self):
+        chain = general_chain(5)
+        space = ExhaustiveSpace()
+        pool = space.generate(chain, None)
+        diag = space.diagnostics
+        assert diag["strategy"] == "exhaustive"
+        assert diag["pool_size"] == len(pool)
+        assert diag["capped"] is False
+
+    def test_capped_exhaustive_reports_forced_fanning(self):
+        chain = general_chain(7)
+        space = ExhaustiveSpace(max_variants=5)
+        pool = space.generate(chain, None)
+        diag = space.diagnostics
+        assert diag["capped"] is True
+        assert diag["pool_size"] == len(pool)
+        assert diag["forced_fanning"] >= 1
+
+    def test_dp_space_reports_seeds_and_dedup(self):
+        chain = general_chain(12)
+        space = DPSeededSpace(num_seeds=8, neighborhood=1)
+        pool = space.generate(chain, training(chain))
+        diag = space.diagnostics
+        assert diag["strategy"] == "dp"
+        assert diag["pool_size"] == len(pool)
+        assert 1 <= diag["seed_count"] <= 8  # dp_seed_trees dedupes
+        assert diag["fanning"] >= chain.n - 1
+        assert diag["dedup_hits"] >= 0
+
+    def test_enumerate_pass_publishes_variant_pool_diagnostics(self):
+        session = CompilerSession()
+        session.compile(general_chain(12), num_training_instances=40)
+        pool = session.last_context.diagnostics["variant_pool"]
+        assert pool["strategy"] == "dp"       # auto resolved by length
+        assert pool["requested"] == "auto"    # the raw option, pre-resolution
+        assert pool["pool_size"] >= 1
+        assert pool["seed_count"] >= 1
+
+    def test_single_matrix_chain_diagnostics(self):
+        session = CompilerSession()
+        session.compile(general_chain(1), num_training_instances=5)
+        pool = session.last_context.diagnostics["variant_pool"]
+        assert pool == {
+            "strategy": "single", "requested": "auto", "pool_size": 1,
+        }
+
+    def test_cache_hit_skips_enumeration_diagnostics(self):
+        session = CompilerSession()
+        session.compile(general_chain(4), num_training_instances=20)
+        session.compile(general_chain(4), num_training_instances=20)
+        # The hit path never ran the enumerate pass: no stale pool report.
+        assert "variant_pool" not in session.last_context.diagnostics
