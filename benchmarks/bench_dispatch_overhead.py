@@ -25,7 +25,11 @@ def _setup(n: int, full: bool):
     else:
         train = sample_instances(chain, 300, rng)
         variants = essential_set(chain, training_instances=train)
-    dispatcher = Dispatcher(chain, variants)
+    # memo_capacity=0: this ablation measures the *cost sweep* itself, so
+    # the size-keyed dispatch memo (which would answer every repeat in
+    # ~1 us regardless of set size) is disabled; bench_runtime_hot_path.py
+    # covers the memoized steady state.
+    dispatcher = Dispatcher(chain, variants, memo_capacity=0)
     sizes = tuple(int(x) for x in sample_instances(chain, 1, rng)[0])
     return dispatcher, sizes
 

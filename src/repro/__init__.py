@@ -52,11 +52,16 @@ from repro.compiler import (
     essential_set,
     left_to_right_variant,
     expand_set,
-    Dispatcher,
-    execute_variant,
     dp_optimal_cost,
     CompiledProgram,
     CompilerSession,
+)
+from repro.runtime import (
+    Dispatcher,
+    DispatchOutcome,
+    ExecutionPlan,
+    compile_plan,
+    execute_variant,
 )
 from repro.api import (
     GeneratedCode,
@@ -104,6 +109,9 @@ __all__ = [
     "left_to_right_variant",
     "expand_set",
     "Dispatcher",
+    "DispatchOutcome",
+    "ExecutionPlan",
+    "compile_plan",
     "execute_variant",
     "dp_optimal_cost",
     "compile_chain",

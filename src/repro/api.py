@@ -29,7 +29,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.ir.chain import Chain
-from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
+from repro.runtime import CostEstimator, Dispatcher, flop_estimator
 from repro.compiler.program import CompiledProgram
 from repro.compiler.session import get_default_session, set_default_session
 from repro.compiler.variant import Variant
@@ -43,6 +43,12 @@ class GeneratedCode:
     function plus its cost function) and the dispatcher.  Calling the object
     evaluates an instance end to end: infer sizes, select the cheapest
     variant, execute it through the kernel substrate.
+
+    The dispatcher is a *live runtime* (:mod:`repro.runtime`): it memoizes
+    dispatch decisions and compiled execution plans per observed size
+    vector, so repeated calls with same-size instances skip the cost sweep
+    and re-validation entirely.  Hold one ``GeneratedCode`` per chain shape
+    and call it many times — that is the serving hot path.
     """
 
     chain: Chain
@@ -56,6 +62,16 @@ class GeneratedCode:
 
     def __call__(self, *arrays) -> np.ndarray:
         return self.dispatcher(*arrays)
+
+    def execute_many(
+        self, instances: Sequence[Sequence[np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Dispatch and execute a batch of instances (one per array list).
+
+        All uncached size vectors share one broadcast cost sweep; see
+        :meth:`repro.runtime.Dispatcher.execute_many`.
+        """
+        return self.dispatcher.execute_many(instances)
 
     def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
         """The variant the dispatcher would pick for an instance."""

@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.ir.chain import Chain
 from repro.compiler.dp import dp_optimal_cost, dp_optimal_plan
-from repro.compiler.executor import execute_variant, infer_sizes
 from repro.compiler.variant import Variant
+from repro.runtime import compile_plan, infer_sizes
 
 
 class OnlineSearchEvaluator:
@@ -43,24 +43,33 @@ class OnlineSearchEvaluator:
     def __init__(self, chain: Chain, cache_size: int = 64):
         self.chain = chain
         self.cache_size = cache_size
-        self._cache: OrderedDict[tuple[int, ...], Variant] = OrderedDict()
+        # sizes -> [DP-optimal variant, compiled execution plan or None]:
+        # a cache hit replays the plan exactly like the generated runtime
+        # does, so the baseline comparison isolates the *search* cost.
+        # The plan is compiled lazily on first execution — cost-only
+        # callers of plan() never pay for it.
+        self._cache: OrderedDict[
+            tuple[int, ...], list
+        ] = OrderedDict()
         self.searches = 0  #: number of DP searches performed (cache misses)
         self.calls = 0
 
     def plan(self, sizes: Sequence[int]) -> Variant:
         """The optimal plan for an instance (cached)."""
-        q = self.chain.validate_sizes(sizes)
+        return self._planned(self.chain.validate_sizes(sizes))[0]
+
+    def _planned(self, q: tuple[int, ...]) -> list:
         cached = self._cache.get(q)
         if cached is not None:
             self._cache.move_to_end(q)
             return cached
         self.searches += 1
-        plan = dp_optimal_plan(self.chain, q)
+        entry = [dp_optimal_plan(self.chain, q), None]
         if self.cache_size > 0:
-            self._cache[q] = plan
+            self._cache[q] = entry
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
-        return plan
+        return entry
 
     def planned_cost(self, sizes: Sequence[int]) -> float:
         """FLOP cost of the plan the search would pick for an instance."""
@@ -71,6 +80,9 @@ class OnlineSearchEvaluator:
         if len(arrays) == 1 and isinstance(arrays[0], (list, tuple)):
             arrays = tuple(arrays[0])
         self.calls += 1
-        sizes = infer_sizes(self.chain, [np.asarray(a) for a in arrays])
-        plan = self.plan(sizes)
-        return execute_variant(plan, list(arrays))
+        values = [np.asarray(a) for a in arrays]
+        sizes = infer_sizes(self.chain, values)
+        entry = self._planned(sizes)
+        if entry[1] is None:
+            entry[1] = compile_plan(entry[0], sizes)
+        return entry[1].execute(values)

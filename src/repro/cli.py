@@ -141,7 +141,6 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.compiler.executor import execute_variant, infer_sizes
     from repro.compiler.program import ArtifactError, CompiledProgram
 
     try:
@@ -166,10 +165,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        dispatcher = program.to_dispatcher()
-        sizes = infer_sizes(program.chain, arrays)
-        variant, cost = dispatcher.select(sizes)
-        result = execute_variant(variant, arrays)
+        # The artifact's live runtime: sizes inferred once, dispatch and
+        # plan-compiled execution in one pass (repro.runtime).
+        sizes, variant, cost, result = program.runtime().run(arrays)
         print(f"instance sizes: {list(sizes)}")
         print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
         if args.out:
@@ -183,7 +181,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.sizes:
         sizes = [int(part) for part in args.sizes.replace(",", " ").split()]
-        variant, cost = program.to_dispatcher().select(sizes)
+        variant, cost = program.runtime().select(sizes)
         print(f"instance sizes: {sizes}")
         print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
         return 0

@@ -18,9 +18,10 @@ Modules:
 * :mod:`repro.compiler.variant_space` — pluggable candidate generation:
   exhaustive Catalan enumeration for small chains, lazy DP-seeded pools
   that scale compilation to long chains (§III-B beyond n ≈ 12).
-* :mod:`repro.compiler.dispatch` — the runtime variant dispatcher (Fig. 1).
-* :mod:`repro.compiler.executor` — executes a variant on concrete NumPy
-  matrices through the kernel reference implementations.
+* :mod:`repro.compiler.dispatch` / :mod:`repro.compiler.executor` —
+  import shims for the run-time half, which lives in :mod:`repro.runtime`
+  (the memoizing dispatcher, compiled execution plans, and the variant
+  executor).
 * :mod:`repro.compiler.pipeline` — the staged pass pipeline (parse,
   simplify, sample, enumerate, cost-matrix, select, expand, dispatch).
 * :mod:`repro.compiler.cache` — the content-addressed compilation cache
@@ -49,8 +50,7 @@ from repro.compiler.selection import (
     penalty,
 )
 from repro.compiler.expansion import expand_set, AveragePenalty, MaxPenalty
-from repro.compiler.dispatch import Dispatcher
-from repro.compiler.executor import execute_variant, random_instance_arrays
+from repro.runtime import Dispatcher, execute_variant, random_instance_arrays
 from repro.compiler.dp import (
     dp_optimal_cost,
     dp_optimal_plan,

@@ -1,170 +1,26 @@
-"""The run-time dispatch function (paper Fig. 1).
+"""Compatibility shim: the dispatcher now lives in :mod:`repro.runtime`.
 
-At run time, the application calls the dispatch function with concrete
-matrices.  The dispatcher evaluates the cost function of every generated
-variant on the observed sizes and passes control to the cheapest one.
-
-The cost function is pluggable: by default it is the FLOP cost; the
-execution-time experiment plugs in performance-model estimates instead
-(Section VII-B).
+The run-time dispatch function (paper Fig. 1) moved into
+:mod:`repro.runtime.dispatcher`, where it gained a size-keyed memo and
+compiled :class:`~repro.runtime.plan.ExecutionPlan` replay.  This module
+re-exports the public names so existing
+``from repro.compiler.dispatch import ...`` imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from repro.runtime.dispatcher import (  # noqa: F401
+    DEFAULT_MEMO_CAPACITY,
+    CostEstimator,
+    DispatchOutcome,
+    Dispatcher,
+    flop_estimator,
+)
 
-import numpy as np
-
-from repro.errors import DispatchError
-from repro.ir.chain import Chain
-from repro.compiler.executor import execute_variant, infer_sizes
-from repro.compiler.variant import Variant
-
-#: Maps (variant, sizes) to an estimated cost; lower is better.
-CostEstimator = Callable[[Variant, Sequence[int]], float]
-
-
-def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
-    """The default cost estimator: analytic FLOP count."""
-    return variant.flop_cost(sizes)
-
-
-class Dispatcher:
-    """Multi-versioned evaluator for one chain shape.
-
-    This object plays the role of the generated dispatch function: it owns
-    the ``k`` generated variants (with their cost functions) and, per call,
-    selects and executes the best variant for the observed matrix sizes.
-    """
-
-    def __init__(
-        self,
-        chain: Chain,
-        variants: Sequence[Variant],
-        cost_estimator: CostEstimator = flop_estimator,
-    ):
-        if not variants:
-            raise DispatchError("a dispatcher needs at least one variant")
-        for variant in variants:
-            if variant.chain is not chain and variant.chain != chain:
-                raise DispatchError(
-                    f"variant {variant.name!r} was built for a different chain"
-                )
-        self.chain = chain
-        self.variants = list(variants)  # via the setter: resets the stack
-        self.cost_estimator = cost_estimator
-
-    @property
-    def variants(self) -> list["Variant"]:
-        return self._variants
-
-    @variants.setter
-    def variants(self, value: Sequence["Variant"]) -> None:
-        # Flattened cost-term stack of the variant set, built lazily on the
-        # first FLOP-estimated dispatch and reused for every later call —
-        # the per-call hot path pays only the broadcast evaluation sweep.
-        # Reassigning the variant list invalidates it (a length change from
-        # in-place mutation is caught at evaluation time too).
-        self._variants = list(value)
-        self._term_stack = None
-
-    def cost_matrix(self, instances) -> np.ndarray:
-        """Estimated costs of every variant on every instance, batched.
-
-        ``instances`` is one size vector or an ``(count, n+1)`` array; the
-        result has shape ``(num_variants, count)``.  Every row is validated
-        against the chain.  Under the default FLOP estimator, the whole
-        matrix is computed with the :func:`~repro.compiler.selection.
-        flop_cost_matrix` broadcast sweep (one numpy pass over all variants
-        and instances, no per-variant Python loop); a custom estimator
-        falls back to per-pair evaluation.
-        """
-        instances = np.asarray(instances)
-        if instances.ndim == 1:
-            instances = instances[None, :]
-        if instances.ndim != 2:
-            raise DispatchError(
-                f"instances must be a size vector or a 2-D (count, n+1) "
-                f"array, got shape {instances.shape}"
-            )
-        validated = np.array(
-            [
-                self.chain.validate_sizes([int(x) for x in row])
-                for row in instances
-            ],
-            dtype=np.float64,
-        ).reshape(instances.shape[0], self.chain.n + 1)
-        if self.cost_estimator is flop_estimator:
-            from repro.compiler.selection import (
-                evaluate_cost_terms,
-                flatten_cost_terms,
-            )
-
-            variants = self._variants
-            if self._term_stack is None or self._term_stack[1] != len(variants):
-                self._term_stack = (
-                    flatten_cost_terms(variants, self.chain.n + 1),
-                    len(variants),
-                )
-            return evaluate_cost_terms(
-                self._term_stack[0], len(variants), validated
-            )
-        return np.array(
-            [
-                [
-                    float(self.cost_estimator(v, tuple(int(x) for x in row)))
-                    for row in validated
-                ]
-                for v in self.variants
-            ],
-            dtype=np.float64,
-        ).reshape(len(self.variants), validated.shape[0])
-
-    def select_many(
-        self, instances
-    ) -> list[tuple[Variant, float]]:
-        """Batched dispatch: the winning (variant, cost) per instance.
-
-        One broadcast cost sweep covers all instances; ``argmin`` keeps the
-        documented tie-break (first occurrence of the minimum, i.e. the
-        earliest variant in ``self.variants`` order).
-        """
-        costs = self.cost_matrix(instances)
-        winners = costs.argmin(axis=0)
-        return [
-            (self.variants[v], float(costs[v, i]))
-            for i, v in enumerate(winners)
-        ]
-
-    def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
-        """The best variant and its estimated cost for an instance.
-
-        Tie-break: when several variants share the minimum estimated cost,
-        the *earliest* in ``self.variants`` order wins (``argmin`` returns
-        the first occurrence of the minimum).  That order is itself
-        deterministic — Theorem 2 emits representatives in equivalence-
-        class order, and Algorithm 1 appends expansion picks after them —
-        so dispatch is stable run-to-run and process-to-process, which the
-        serving layer relies on for reproducible answers.
-        """
-        [(variant, cost)] = self.select_many([sizes])
-        return variant, cost
-
-    def costs(self, sizes: Sequence[int]) -> list[tuple[str, float]]:
-        """Estimated cost of every variant (for inspection/debugging)."""
-        matrix = self.cost_matrix([sizes])
-        return [
-            (v.name or str(i), float(matrix[i, 0]))
-            for i, v in enumerate(self.variants)
-        ]
-
-    def __call__(self, *arrays: np.ndarray) -> np.ndarray:
-        """Evaluate the chain: infer sizes, pick the best variant, run it."""
-        if len(arrays) == 1 and isinstance(arrays[0], (list, tuple)):
-            arrays = tuple(arrays[0])
-        sizes = infer_sizes(self.chain, [np.asarray(a) for a in arrays])
-        variant, _ = self.select(sizes)
-        return execute_variant(variant, list(arrays))
-
-    def __len__(self) -> int:
-        return len(self.variants)
+__all__ = [
+    "DEFAULT_MEMO_CAPACITY",
+    "CostEstimator",
+    "DispatchOutcome",
+    "Dispatcher",
+    "flop_estimator",
+]

@@ -423,7 +423,11 @@ class DispatchPass(CompilerPass):
             # the future cache entry and takes its own copy.
             copy_training=not ctx.cache_hit,
         )
-        ctx.dispatcher = ctx.program.to_dispatcher(ctx.cost_estimator)
+        # The dispatcher is the artifact's *live runtime* (shared memo and
+        # term stack), so every consumer holding this compilation — the
+        # GeneratedCode facade, the serve registry, repeated execute()
+        # calls — amortizes dispatch state in one place.
+        ctx.dispatcher = ctx.program.runtime(ctx.cost_estimator)
 
 
 def _single_variant(chain: Chain) -> Variant:

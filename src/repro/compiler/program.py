@@ -258,10 +258,34 @@ class CompiledProgram:
     def to_dispatcher(
         self, cost_estimator: CostEstimator = flop_estimator
     ) -> Dispatcher:
-        """A working run-time dispatcher over the artifact's variants."""
+        """A *fresh* run-time dispatcher over the artifact's variants.
+
+        Each call builds a new dispatcher (empty memo, cold term stack);
+        use :meth:`runtime` for the shared per-artifact instance that
+        amortizes dispatch state across calls.
+        """
         return Dispatcher(
             self.chain, list(self.variants), cost_estimator=cost_estimator
         )
+
+    def runtime(
+        self, cost_estimator: CostEstimator = flop_estimator
+    ) -> Dispatcher:
+        """The artifact's live runtime: one memoizing dispatcher, reused.
+
+        Built lazily on first use and kept on the artifact, so repeated
+        :meth:`execute` calls (and every consumer holding this program)
+        share one dispatch memo and one flattened cost-term stack instead
+        of rebuilding them per request.  Asking for a different
+        ``cost_estimator`` than the cached runtime's builds a fresh one.
+        """
+        cached: Optional[Dispatcher] = getattr(self, "_runtime", None)
+        if cached is not None and cached.cost_estimator is cost_estimator:
+            return cached
+        dispatcher = self.to_dispatcher(cost_estimator)
+        # Frozen dataclass: the runtime is a derived cache, not wire state.
+        object.__setattr__(self, "_runtime", dispatcher)
+        return dispatcher
 
     def to_generated_code(
         self, cost_estimator: CostEstimator = flop_estimator
@@ -272,14 +296,20 @@ class CompiledProgram:
         return GeneratedCode(
             chain=self.chain,
             variants=list(self.variants),
-            dispatcher=self.to_dispatcher(cost_estimator),
+            # The artifact's live runtime, not a fresh dispatcher: every
+            # facade over this program shares one dispatch memo.
+            dispatcher=self.runtime(cost_estimator),
             training_instances=np.asarray(self.training_instances),
             program=self,
         )
 
     def execute(self, *arrays) -> np.ndarray:
-        """Dispatch and evaluate one instance (convenience for ``repro run``)."""
-        return self.to_dispatcher()(*arrays)
+        """Dispatch and evaluate one instance (convenience for ``repro run``).
+
+        Goes through :meth:`runtime`, so repeated same-size executions hit
+        the dispatch memo instead of re-sweeping the cost matrix.
+        """
+        return self.runtime()(*arrays)
 
     # -- presentation --------------------------------------------------------
 

@@ -274,7 +274,15 @@ class CompilerSession:
                 # portable CompiledProgram; cache the artifact itself.  A
                 # custom pipeline without the dispatch pass still caches a
                 # bare artifact built from the selection products.
-                entry = ctx.program
+                # A shallow field copy: the context's program carries the
+                # live runtime (its dispatcher/memo) for the caller, which
+                # the long-lived cache entry must not pin — cache hits
+                # rebuild their own program from the fields anyway.
+                entry = (
+                    dataclasses.replace(ctx.program)
+                    if ctx.program is not None
+                    else None
+                )
                 if entry is None:
                     entry = CacheEntry.from_artifacts(
                         ctx.chain,

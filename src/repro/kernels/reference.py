@@ -35,7 +35,7 @@ __all__ = [
     "dimm", "didimm", "digesv", "disysv", "ditrsv", "didisv",
     "geinv", "syinv", "poinv", "trinv", "diinv",
     "explicit_transpose", "copy",
-    "KERNEL_IMPLS",
+    "KERNEL_IMPLS", "PRODUCT_KERNELS", "SOLVER_BY_KERNEL", "specialize_kernel",
 ]
 
 
@@ -341,32 +341,101 @@ def _impl_solve(solver):
     return run
 
 
-#: name -> callable(stored_left, stored_right, call_config) -> result array.
-#: Product kernels all reduce to a (possibly transposed) matmul on the full
-#: dense storage; solve kernels pick the structured solver of their family.
-KERNEL_IMPLS = {
-    "GEMM": _impl_product,
-    "SYMM": _impl_product,
-    "TRMM": _impl_product,
-    "SYSYMM": _impl_product,
-    "TRSYMM": _impl_product,
-    "TRTRMM": _impl_product,
-    "GEGESV": _impl_solve(_solve_general),
-    "GESYSV": _impl_solve(_solve_general),
-    "GETRSV": _impl_solve(_solve_general),
-    "SYGESV": _impl_solve(_solve_symmetric),
-    "SYSYSV": _impl_solve(_solve_symmetric),
-    "SYTRSV": _impl_solve(_solve_symmetric),
-    "POGESV": _impl_solve(_solve_spd),
-    "POSYSV": _impl_solve(_solve_spd),
-    "POTRSV": _impl_solve(_solve_spd),
-    "TRSM": _impl_solve(_solve_triangular),
-    "TRSYSV": _impl_solve(_solve_triangular),
-    "TRTRSV": _impl_solve(_solve_triangular),
-    "DIMM": _impl_product,
-    "DIDIMM": _impl_product,
-    "DIGESV": _impl_solve(_solve_diagonal),
-    "DISYSV": _impl_solve(_solve_diagonal),
-    "DITRSV": _impl_solve(_solve_diagonal),
-    "DIDISV": _impl_solve(_solve_diagonal),
+#: Kernels whose execution is a dense matmul over the full storage.
+PRODUCT_KERNELS = frozenset(
+    {"GEMM", "SYMM", "TRMM", "SYSYMM", "TRSYMM", "TRTRMM", "DIMM", "DIDIMM"}
+)
+
+#: Solve kernels mapped to the structured solver of their coefficient family.
+SOLVER_BY_KERNEL = {
+    "GEGESV": _solve_general,
+    "GESYSV": _solve_general,
+    "GETRSV": _solve_general,
+    "SYGESV": _solve_symmetric,
+    "SYSYSV": _solve_symmetric,
+    "SYTRSV": _solve_symmetric,
+    "POGESV": _solve_spd,
+    "POSYSV": _solve_spd,
+    "POTRSV": _solve_spd,
+    "TRSM": _solve_triangular,
+    "TRSYSV": _solve_triangular,
+    "TRTRSV": _solve_triangular,
+    "DIGESV": _solve_diagonal,
+    "DISYSV": _solve_diagonal,
+    "DITRSV": _solve_diagonal,
+    "DIDISV": _solve_diagonal,
 }
+
+
+def specialize_kernel(name, cfg):
+    """A direct ``(left, right) -> result`` callable for one frozen config.
+
+    Execution plans (:mod:`repro.runtime.plan`) call each kernel with the
+    same :class:`call config <repro.runtime.executor.KernelCallConfig>`
+    every time, so the per-call branching of the generic entry points —
+    transpose resolution, side selection, operand re-coercion, dimension
+    checks — can be resolved once here.  The returned callable trusts its
+    inputs: 2-D float64 arrays whose shapes were validated when the plan
+    was compiled (dimension mismatches surface as numpy errors, not
+    :class:`ExecutionError`).
+
+    Bit-compatible with :data:`KERNEL_IMPLS`: products lower to the same
+    ``op(L) @ op(R)`` matmul, solves to the same family solver with the
+    transpose/triangularity algebra pre-applied.
+    """
+    if name in PRODUCT_KERNELS:
+        if cfg.left_trans and cfg.right_trans:
+            return lambda left, right: left.T @ right.T
+        if cfg.left_trans:
+            return lambda left, right: left.T @ right
+        if cfg.right_trans:
+            return lambda left, right: left @ right.T
+        return lambda left, right: left @ right
+    solver = SOLVER_BY_KERNEL.get(name)
+    if solver is None:
+        raise ExecutionError(f"no implementation for kernel {name}")
+    left_side = cfg.side == "left"
+    if left_side:
+        coeff_trans, rhs_trans, lower = (
+            cfg.left_trans, cfg.right_trans, cfg.left_lower,
+        )
+    else:
+        coeff_trans, rhs_trans, lower = (
+            cfg.right_trans, cfg.left_trans, cfg.right_lower,
+        )
+    side = cfg.side
+    if solver is _solve_triangular:
+        # Stored-to-logical triangularity flips under transposition,
+        # exactly as in the generic path (_impl_solve).
+        logical_lower = bool(lower) != coeff_trans
+
+        def run(left, right):
+            coeff, rhs = (left, right) if left_side else (right, left)
+            if coeff_trans:
+                coeff = coeff.T
+            if rhs_trans:
+                rhs = rhs.T
+            return _solve_triangular(coeff, rhs, side, logical_lower)
+
+        return run
+
+    def run(left, right):
+        coeff, rhs = (left, right) if left_side else (right, left)
+        if coeff_trans:
+            coeff = coeff.T
+        if rhs_trans:
+            rhs = rhs.T
+        return solver(coeff, rhs, side)
+
+    return run
+
+
+#: name -> callable(stored_left, stored_right, call_config) -> result array.
+#: Derived from PRODUCT_KERNELS / SOLVER_BY_KERNEL so the generic path and
+#: plan-time specialization (specialize_kernel) share one family table:
+#: product kernels all reduce to a (possibly transposed) matmul on the full
+#: dense storage; solve kernels pick the structured solver of their family.
+KERNEL_IMPLS = {name: _impl_product for name in sorted(PRODUCT_KERNELS)}
+KERNEL_IMPLS.update(
+    (name, _impl_solve(solver)) for name, solver in SOLVER_BY_KERNEL.items()
+)

@@ -1,0 +1,59 @@
+"""repro.runtime — the run-time half of the generated code (paper Fig. 1).
+
+The paper's product has two halves: compile-time variant generation
+(:mod:`repro.compiler`) and the run-time dispatch function that, per
+observed instance, picks and runs the cheapest variant.  This package is
+that second half, structured for the per-request hot path:
+
+* :mod:`repro.runtime.executor` — the kernel-call interpreter
+  (:func:`execute_variant`), size inference, and the concrete-operand
+  helpers;
+* :mod:`repro.runtime.plan` — :class:`ExecutionPlan`, one ``(variant,
+  sizes)`` pair compiled into a replayable loop of pre-resolved kernel
+  calls over flat buffer slots (no dict lookups, no re-validation);
+* :mod:`repro.runtime.dispatcher` — :class:`Dispatcher`, the generated
+  dispatch function with a bounded size-keyed memo: repeated instances
+  bypass the cost sweep and replay their compiled plan, making the
+  steady-state per-call path amortized O(1) in everything but the kernel
+  work itself.
+
+``repro.compiler.dispatch`` and ``repro.compiler.executor`` remain as
+import shims for pre-existing call sites.
+"""
+
+from repro.runtime.executor import (
+    KernelCallConfig,
+    SizeInferencer,
+    execute_variant,
+    expected_stored_shapes,
+    infer_sizes,
+    naive_evaluate,
+    random_instance_arrays,
+    random_matrix,
+)
+from repro.runtime.plan import ExecutionPlan, compile_plan
+from repro.runtime.dispatcher import (
+    DEFAULT_MEMO_CAPACITY,
+    CostEstimator,
+    DispatchOutcome,
+    Dispatcher,
+    flop_estimator,
+)
+
+__all__ = [
+    "DEFAULT_MEMO_CAPACITY",
+    "CostEstimator",
+    "DispatchOutcome",
+    "Dispatcher",
+    "ExecutionPlan",
+    "KernelCallConfig",
+    "SizeInferencer",
+    "compile_plan",
+    "execute_variant",
+    "expected_stored_shapes",
+    "flop_estimator",
+    "infer_sizes",
+    "naive_evaluate",
+    "random_instance_arrays",
+    "random_matrix",
+]

@@ -1,0 +1,474 @@
+"""The run-time dispatch function (paper Fig. 1), as a memoizing runtime.
+
+At run time, the application calls the dispatch function with concrete
+matrices.  The dispatcher evaluates the cost function of every generated
+variant on the observed sizes and passes control to the cheapest one.
+
+The cost function is pluggable: by default it is the FLOP cost; the
+execution-time experiment plugs in performance-model estimates instead
+(Section VII-B).
+
+What makes this a *runtime* rather than a per-call recomputation:
+
+* the flattened cost-term stack of the variant pool is built once and
+  keyed on the **identity** of the pool (so in-place replacement of the
+  list, even at the same length, rebuilds it);
+* every dispatch decision is memoized in a bounded, LRU-evicted map from
+  the observed size vector to ``(variant, cost, ExecutionPlan)`` —
+  a service answering repeated instances of the same sizes pays one cost
+  sweep and one plan compilation, then amortized O(1) per call;
+* executing through the memo replays a compiled
+  :class:`~repro.runtime.plan.ExecutionPlan`: kernel implementations,
+  call configurations, and buffer slots are pre-resolved, and operand
+  shapes are validated exactly once (by size inference), not re-checked
+  per step or re-inferred per call.
+
+The memo is invalidated by reassigning :attr:`Dispatcher.variants`,
+mutating the variant list in place, or swapping
+:attr:`Dispatcher.cost_estimator`.  Memo bookkeeping is guarded by a
+lock, so one dispatcher may serve many threads (plans themselves are
+stateless and replay concurrently).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DispatchError
+from repro.ir.chain import Chain
+from repro.runtime.executor import SizeInferencer
+from repro.runtime.plan import ExecutionPlan, compile_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.variant import Variant
+
+#: Maps (variant, sizes) to an estimated cost; lower is better.
+CostEstimator = Callable[["Variant", Sequence[int]], float]
+
+#: Default bound on memoized size vectors per dispatcher.
+DEFAULT_MEMO_CAPACITY = 512
+
+
+def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
+    """The default cost estimator: analytic FLOP count."""
+    return variant.flop_cost(sizes)
+
+
+class DispatchOutcome(NamedTuple):
+    """Everything one dispatched execution produced (see :meth:`Dispatcher.run`)."""
+
+    sizes: tuple[int, ...]
+    variant: Variant
+    cost: float
+    result: np.ndarray
+
+
+class _MemoEntry:
+    """One memoized dispatch decision; the plan is compiled on first use.
+
+    Holds the winning variant *object* (not an index into the mutable
+    pool), so a stale entry can never index out of a reassigned list.
+    """
+
+    __slots__ = ("variant", "cost", "plan")
+
+    def __init__(
+        self, variant: "Variant", cost: float, plan: Optional[ExecutionPlan]
+    ):
+        self.variant = variant
+        self.cost = cost
+        self.plan = plan
+
+
+class Dispatcher:
+    """Multi-versioned evaluator for one chain shape.
+
+    This object plays the role of the generated dispatch function: it owns
+    the ``k`` generated variants (with their cost functions) and, per call,
+    selects and executes the best variant for the observed matrix sizes.
+    Repeated instances of the same sizes bypass the cost sweep entirely
+    through the size-keyed memo (see the module docstring).
+
+    ``memo_capacity`` bounds the memo (LRU eviction); ``0`` disables
+    memoization, restoring a full cost sweep per call.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        variants: Sequence[Variant],
+        cost_estimator: CostEstimator = flop_estimator,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+    ):
+        if not variants:
+            raise DispatchError("a dispatcher needs at least one variant")
+        for variant in variants:
+            if variant.chain is not chain and variant.chain != chain:
+                raise DispatchError(
+                    f"variant {variant.name!r} was built for a different chain"
+                )
+        if memo_capacity < 0:
+            raise DispatchError("memo_capacity must be >= 0")
+        self.chain = chain
+        self.memo_capacity = memo_capacity
+        self._infer = SizeInferencer(chain)
+        self.memo_hits = 0  #: dispatch decisions answered from the memo
+        self.memo_misses = 0  #: dispatch decisions that paid a cost sweep
+        self._memo: OrderedDict[tuple[int, ...], _MemoEntry] = OrderedDict()
+        self._memo_lock = threading.Lock()
+        self._pool_snapshot: Optional[tuple[Variant, ...]] = None
+        self._term_stack = None
+        self.variants = list(variants)  # via the setter: resets the caches
+        self._cost_estimator = cost_estimator
+
+    # -- pool and estimator bookkeeping --------------------------------------
+
+    @property
+    def variants(self) -> list["Variant"]:
+        return self._variants
+
+    @variants.setter
+    def variants(self, value: Sequence["Variant"]) -> None:
+        self._variants = list(value)
+        self._invalidate()
+
+    @property
+    def cost_estimator(self) -> CostEstimator:
+        return self._cost_estimator
+
+    @cost_estimator.setter
+    def cost_estimator(self, value: CostEstimator) -> None:
+        # Memoized decisions embed the old estimator's costs and winners;
+        # swapping the estimator (e.g. FLOPs -> performance model) must
+        # drop them.  The term stack only serves the FLOP fast path and
+        # stays valid for the same pool.
+        self._cost_estimator = value
+        with self._memo_lock:
+            self._memo.clear()
+
+    def _invalidate(self) -> None:
+        with self._memo_lock:
+            self._pool_snapshot = tuple(self._variants)
+            self._term_stack = None
+            self._memo.clear()
+
+    def _sync_pool(self) -> tuple["Variant", ...]:
+        """The coherent pool snapshot, invalidating stale caches first.
+
+        Reassigning ``self.variants`` resets eagerly (the setter); this
+        guard additionally catches *in-place* mutation of the list —
+        including same-length replacement, which a length check would
+        miss — by comparing element identity against the snapshot the
+        caches were built for.  Callers evaluate and index the returned
+        snapshot tuple (never ``self._variants`` directly), and every
+        cache write is gated on the snapshot still being current, so a
+        concurrent pool swap can at worst waste a sweep — it can never
+        persist a decision computed against the old pool.
+        """
+        pool = self._variants
+        snapshot = self._pool_snapshot
+        if (
+            snapshot is None
+            or len(snapshot) != len(pool)
+            or any(a is not b for a, b in zip(pool, snapshot))
+        ):
+            self._invalidate()
+            snapshot = self._pool_snapshot
+        return snapshot
+
+    # -- cost evaluation ------------------------------------------------------
+
+    def cost_matrix(self, instances, *, validate: bool = True) -> np.ndarray:
+        """Estimated costs of every variant on every instance, batched.
+
+        ``instances`` is one size vector or an ``(count, n+1)`` array; the
+        result has shape ``(num_variants, count)``.  With ``validate``
+        (the default) every row is checked against the chain; trusted
+        callers that already validated their instances — size inference,
+        the serve layer — pass ``validate=False`` to skip the per-row
+        Python loop (a cheap width check still applies).  Under the
+        default FLOP estimator the whole matrix is computed with the
+        :func:`~repro.compiler.selection.flatten_cost_terms` broadcast
+        sweep (one numpy pass over all variants and instances, no
+        per-variant Python loop); a custom estimator falls back to
+        per-pair evaluation.
+        """
+        validated = self._as_instance_matrix(instances, validate)
+        snapshot = self._sync_pool()
+        return self._evaluate_costs(snapshot, validated)
+
+    def _as_instance_matrix(self, instances, validate: bool) -> np.ndarray:
+        """Normalize one size vector or a batch to a validated 2-D array."""
+        instances = np.asarray(instances)
+        if instances.ndim == 1:
+            instances = instances[None, :]
+        if instances.ndim != 2:
+            raise DispatchError(
+                f"instances must be a size vector or a 2-D (count, n+1) "
+                f"array, got shape {instances.shape}"
+            )
+        if validate:
+            return np.array(
+                [
+                    self.chain.validate_sizes([int(x) for x in row])
+                    for row in instances
+                ],
+                dtype=np.float64,
+            ).reshape(instances.shape[0], self.chain.n + 1)
+        if instances.shape[1] != self.chain.n + 1:
+            raise DispatchError(
+                f"instances have {instances.shape[1]} sizes, expected "
+                f"{self.chain.n + 1}"
+            )
+        return np.asarray(instances, dtype=np.float64)
+
+    def _evaluate_costs(
+        self, snapshot: tuple["Variant", ...], validated: np.ndarray
+    ) -> np.ndarray:
+        """Costs of one coherent pool snapshot on pre-validated instances.
+
+        The term stack is cached *paired with its snapshot*, and the cache
+        write is gated on the snapshot still being current — so this never
+        evaluates a stack built from a different pool than the one the
+        caller will index.
+        """
+        if self._cost_estimator is flop_estimator:
+            from repro.compiler.selection import (
+                evaluate_cost_terms,
+                flatten_cost_terms,
+            )
+
+            cached = self._term_stack
+            if cached is not None and cached[0] is snapshot:
+                stack = cached[1]
+            else:
+                stack = flatten_cost_terms(snapshot, self.chain.n + 1)
+                with self._memo_lock:
+                    if self._pool_snapshot is snapshot:
+                        self._term_stack = (snapshot, stack)
+            return evaluate_cost_terms(stack, len(snapshot), validated)
+        return np.array(
+            [
+                [
+                    float(self._cost_estimator(v, tuple(int(x) for x in row)))
+                    for row in validated
+                ]
+                for v in snapshot
+            ],
+            dtype=np.float64,
+        ).reshape(len(snapshot), validated.shape[0])
+
+    # -- selection ------------------------------------------------------------
+
+    def select_many(
+        self, instances, *, validate: bool = True
+    ) -> list[tuple[Variant, float]]:
+        """Batched dispatch: the winning (variant, cost) per instance.
+
+        One broadcast cost sweep covers all instances; ``argmin`` keeps the
+        documented tie-break (first occurrence of the minimum, i.e. the
+        earliest variant in ``self.variants`` order).  ``validate=False``
+        skips per-row instance validation for pre-validated callers.
+        """
+        validated = self._as_instance_matrix(instances, validate)
+        snapshot = self._sync_pool()
+        costs = self._evaluate_costs(snapshot, validated)
+        winners = costs.argmin(axis=0)
+        return [
+            (snapshot[v], float(costs[v, i]))
+            for i, v in enumerate(winners)
+        ]
+
+    def _lookup(self, q: tuple[int, ...], count: bool = True) -> Optional[_MemoEntry]:
+        with self._memo_lock:
+            entry = self._memo.get(q)
+            if entry is not None:
+                self._memo.move_to_end(q)
+                if count:
+                    self.memo_hits += 1
+            return entry
+
+    def _store(
+        self,
+        q: tuple[int, ...],
+        entry: _MemoEntry,
+        snapshot: tuple["Variant", ...],
+        estimator: CostEstimator,
+    ) -> None:
+        if self.memo_capacity <= 0:
+            return
+        with self._memo_lock:
+            if (
+                self._pool_snapshot is not snapshot
+                or self._cost_estimator is not estimator
+            ):
+                # The pool or the estimator changed while we swept: the
+                # decision is stale, drop it rather than poison the memo
+                # that the concurrent swap just cleared.
+                return
+            self._memo[q] = entry
+            while len(self._memo) > self.memo_capacity:
+                self._memo.popitem(last=False)
+
+    def _select_entry(self, q: tuple[int, ...]) -> _MemoEntry:
+        """The memoized dispatch decision for a validated size vector."""
+        snapshot = self._sync_pool()
+        entry = self._lookup(q)
+        if entry is None:
+            estimator = self._cost_estimator
+            with self._memo_lock:
+                self.memo_misses += 1
+            costs = self._evaluate_costs(
+                snapshot, np.asarray(q, dtype=np.float64)[None, :]
+            )
+            index = int(costs[:, 0].argmin())
+            entry = _MemoEntry(snapshot[index], float(costs[index, 0]), None)
+            self._store(q, entry, snapshot, estimator)
+        return entry
+
+    def select(self, sizes: Sequence[int]) -> tuple[Variant, float]:
+        """The best variant and its estimated cost for an instance.
+
+        Tie-break: when several variants share the minimum estimated cost,
+        the *earliest* in ``self.variants`` order wins (``argmin`` returns
+        the first occurrence of the minimum).  That order is itself
+        deterministic — Theorem 2 emits representatives in equivalence-
+        class order, and Algorithm 1 appends expansion picks after them —
+        so dispatch is stable run-to-run and process-to-process, which the
+        serving layer relies on for reproducible answers.  The memo keeps
+        the first decision per size vector, so warm answers are the same
+        decision, not merely an equal one.
+        """
+        q = self.chain.validate_sizes(sizes)
+        entry = self._select_entry(q)
+        return entry.variant, entry.cost
+
+    def plan_for(
+        self, sizes: Sequence[int], *, validate: bool = True
+    ) -> tuple[Variant, float, ExecutionPlan]:
+        """The memoized ``(variant, cost, plan)`` for an instance.
+
+        The plan is compiled on the first request for a size vector and
+        replayed from the memo afterwards.
+        """
+        q = (
+            self.chain.validate_sizes(sizes)
+            if validate
+            else tuple(int(s) for s in sizes)
+        )
+        entry = self._select_entry(q)
+        plan = entry.plan
+        if plan is None:
+            plan = compile_plan(entry.variant, q)
+            entry.plan = plan
+        return entry.variant, entry.cost, plan
+
+    def costs(self, sizes: Sequence[int]) -> list[tuple[str, float]]:
+        """Estimated cost of every variant (for inspection/debugging)."""
+        matrix = self.cost_matrix([sizes])
+        return [
+            (v.name or str(i), float(matrix[i, 0]))
+            for i, v in enumerate(self.variants)
+        ]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, arrays: Sequence[np.ndarray]) -> DispatchOutcome:
+        """Dispatch and execute one instance; returns the full outcome.
+
+        Sizes are inferred (and thereby validated) exactly once; the
+        memoized plan replays without re-inferring or re-checking shapes.
+        """
+        values = [np.asarray(a, dtype=np.float64) for a in arrays]
+        sizes = self._infer.infer(values)
+        variant, cost, plan = self.plan_for(sizes, validate=False)
+        return DispatchOutcome(sizes, variant, cost, plan.replay(values))
+
+    def __call__(self, *arrays: np.ndarray) -> np.ndarray:
+        """Evaluate the chain: infer sizes, pick the best variant, run it."""
+        if len(arrays) == 1 and isinstance(arrays[0], (list, tuple)):
+            arrays = tuple(arrays[0])
+        return self.run(arrays).result
+
+    def execute_many(
+        self, instances: Sequence[Sequence[np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Dispatch and execute a batch of instances.
+
+        All uncached size vectors share **one** broadcast cost sweep (and
+        one plan compilation per distinct size); execution then replays
+        the per-size plans in input order.
+        """
+        prepared = [
+            [np.asarray(a, dtype=np.float64) for a in arrays]
+            for arrays in instances
+        ]
+        sized = [self._infer.infer(arrays) for arrays in prepared]
+        local: dict[tuple[int, ...], _MemoEntry] = {}
+        if sized:
+            snapshot = self._sync_pool()
+            estimator = self._cost_estimator
+            with self._memo_lock:
+                fresh = [
+                    q for q in dict.fromkeys(sized) if q not in self._memo
+                ]
+                # Counters mirror the scalar path: the first occurrence of
+                # each uncached size is a miss (they share the single
+                # sweep below); every other instance — warm sizes and
+                # repeats of sizes this very batch resolves — is a hit.
+                self.memo_misses += len(fresh)
+                self.memo_hits += len(sized) - len(fresh)
+            if fresh:
+                costs = self._evaluate_costs(
+                    snapshot, np.asarray(fresh, dtype=np.float64)
+                )
+                winners = costs.argmin(axis=0)
+                for j, q in enumerate(fresh):
+                    local[q] = _MemoEntry(
+                        snapshot[int(winners[j])],
+                        float(costs[winners[j], j]),
+                        None,
+                    )
+                if self.memo_capacity > 0:
+                    with self._memo_lock:
+                        if (
+                            self._pool_snapshot is snapshot
+                            and self._cost_estimator is estimator
+                        ):
+                            for q, entry in local.items():
+                                if q not in self._memo:
+                                    self._memo[q] = entry
+                            while len(self._memo) > self.memo_capacity:
+                                self._memo.popitem(last=False)
+        results = []
+        for q, arrays in zip(sized, prepared):
+            # Counters were settled above.  The local entries keep the
+            # one-sweep promise even with memo_capacity=0 or immediate
+            # eviction; _select_entry is the last-resort fallback (and
+            # counts its own miss).
+            entry = self._lookup(q, count=False) or local.get(q)
+            if entry is None:
+                entry = self._select_entry(q)
+            plan = entry.plan
+            if plan is None:
+                plan = compile_plan(entry.variant, q)
+                entry.plan = plan
+            results.append(plan.replay(arrays))
+        return results
+
+    def memo_stats(self) -> dict[str, int]:
+        """Memo counters, JSON-ready (for service stats and tests)."""
+        with self._memo_lock:
+            return {
+                "entries": len(self._memo),
+                "capacity": self.memo_capacity,
+                "hits": self.memo_hits,
+                "misses": self.memo_misses,
+            }
+
+    def __len__(self) -> int:
+        return len(self.variants)

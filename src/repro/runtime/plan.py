@@ -1,0 +1,195 @@
+"""Compiled execution plans: the per-request hot path of the generated code.
+
+:func:`execute_variant` re-derives everything on every call — it looks up
+each step's kernel implementation in a dict, rebuilds its
+:class:`~repro.runtime.executor.KernelCallConfig`, addresses intermediate
+buffers through a ``("step", i)`` dict, and (by default) re-infers and
+re-validates the operand shapes.  None of that depends on the arrays;
+all of it depends only on ``(variant, sizes)``.
+
+:func:`compile_plan` therefore does that work **once**: it resolves every
+kernel implementation to a direct callable, freezes the call
+configurations, flattens the buffer references into integer slots of one
+flat list (inputs first, one slot per step after), pre-binds the fix-up
+kernels, and records the stored shapes the instance expects.  The
+resulting :class:`ExecutionPlan` replays with a single tight loop over
+pre-resolved ``(impl, left_slot, right_slot, config, out_slot)`` tuples —
+no dict lookups, no dataclass construction, no re-validation.
+
+Plans are immutable and reusable: the memoizing
+:class:`~repro.runtime.dispatcher.Dispatcher` compiles one per observed
+size vector and replays it for every later instance with the same sizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.kernels import reference
+from repro.runtime.executor import (
+    KernelCallConfig,
+    _stored_lower,
+    expected_stored_shapes,
+    resolve_fixup,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.variant import Variant
+
+#: One pre-resolved kernel call: specialized implementation (call config
+#: already baked in), operand slots, output slot.
+PlanOp = tuple[Callable, int, int, int]
+
+
+def _resolve_fixups(variant: Variant) -> tuple[Callable[[np.ndarray], np.ndarray], ...]:
+    """Pre-bind the final fix-up kernels to direct array callables."""
+    state = variant.final_state
+    return tuple(
+        resolve_fixup(fix.kernel.name, state) for fix in variant.fixups
+    )
+
+
+class ExecutionPlan:
+    """One variant, one instance size, compiled down to a replayable loop.
+
+    Construction (via :func:`compile_plan`) validates the size vector and
+    resolves every step; :meth:`execute` then trusts its inputs by default
+    — the caller (the dispatcher) has already inferred the sizes from the
+    arrays, which guarantees the stored shapes match :attr:`expected_shapes`.
+    Pass ``check_shapes=True`` to re-assert that explicitly (the first-run
+    or untrusted-caller path).
+
+    Plans hold no array state, so one plan may be replayed concurrently
+    from many threads.
+    """
+
+    __slots__ = (
+        "variant",
+        "chain",
+        "sizes",
+        "expected_shapes",
+        "call_configs",
+        "_ops",
+        "_fixups",
+        "_num_inputs",
+    )
+
+    def __init__(self, variant: Variant, sizes: Sequence[int]):
+        chain = variant.chain
+        q = chain.validate_sizes(sizes)
+        self.variant = variant
+        self.chain = chain
+        self.sizes: tuple[int, ...] = q
+        self.expected_shapes: tuple[tuple[int, int], ...] = tuple(
+            expected_stored_shapes(chain, q)
+        )
+        self._num_inputs = chain.n
+
+        # Buffer slots: inputs occupy 0..n-1, step i's result lands in
+        # slot n + i.  A ("matrix", j) ref resolves to j, ("step", j) to
+        # n + j — the executor's dict keys collapse into list indices.
+        def slot(ref) -> int:
+            kind, index = ref
+            if kind == "matrix":
+                return index
+            if kind == "step":
+                return chain.n + index
+            raise ExecutionError(f"unknown buffer reference {ref!r}")
+
+        ops: list[PlanOp] = []
+        configs: list[KernelCallConfig] = []
+        for step in variant.steps:
+            cfg = KernelCallConfig(
+                side=step.side,
+                left_trans=step.left_state.transposed,
+                right_trans=step.right_state.transposed,
+                left_lower=_stored_lower(step.left_state),
+                right_lower=_stored_lower(step.right_state),
+            )
+            configs.append(cfg)
+            ops.append(
+                (
+                    # The config is baked into the callable: transposes,
+                    # sides, and triangularity resolve at compile time.
+                    reference.specialize_kernel(step.kernel.name, cfg),
+                    slot(step.left_ref),
+                    slot(step.right_ref),
+                    chain.n + step.index,
+                )
+            )
+        self.call_configs: tuple[KernelCallConfig, ...] = tuple(configs)
+        self._ops: tuple[PlanOp, ...] = tuple(ops)
+        self._fixups = _resolve_fixups(variant)
+
+    def validate(self, arrays: Sequence[np.ndarray]) -> None:
+        """Assert the stored arrays match this plan's instance shapes."""
+        if len(arrays) != self._num_inputs:
+            raise ExecutionError(
+                f"expected {self._num_inputs} arrays for chain {self.chain}, "
+                f"got {len(arrays)}"
+            )
+        for i, (array, shape) in enumerate(zip(arrays, self.expected_shapes)):
+            if array.shape != shape:
+                raise ExecutionError(
+                    f"operand {i}: expected stored shape {shape}, "
+                    f"got {array.shape}"
+                )
+
+    def execute(
+        self, arrays: Sequence[np.ndarray], check_shapes: bool = False
+    ) -> np.ndarray:
+        """Replay the compiled kernel sequence on concrete matrices."""
+        values = [np.asarray(a, dtype=np.float64) for a in arrays]
+        if check_shapes:
+            self.validate(values)
+        elif len(values) != self._num_inputs:
+            raise ExecutionError(
+                f"expected {self._num_inputs} arrays for chain {self.chain}, "
+                f"got {len(values)}"
+            )
+        return self.replay(values)
+
+    def replay(self, values: list[np.ndarray]) -> np.ndarray:
+        """The trusted inner loop: run the pre-resolved kernel sequence.
+
+        ``values`` must be a fresh list of float64 arrays matching
+        :attr:`expected_shapes` in stored order (the dispatcher guarantees
+        this via size inference); the list is extended in place with the
+        intermediate buffers, so the caller must hand over ownership.
+        """
+        values.extend([None] * len(self._ops))
+        result: Optional[np.ndarray] = None
+        for impl, left, right, out in self._ops:
+            result = impl(values[left], values[right])
+            values[out] = result
+        if result is None:  # single-matrix chain: fix-ups do all the work
+            result = values[0]
+        for fixup in self._fixups:
+            result = fixup(result)
+        return result
+
+    __call__ = execute
+
+    def describe(self) -> str:
+        lines = [
+            f"execution plan for {self.variant.name or '<anonymous>'} "
+            f"at q={list(self.sizes)}"
+        ]
+        for step, (_, left, right, out), cfg in zip(
+            self.variant.steps, self._ops, self.call_configs
+        ):
+            lines.append(
+                f"  slot[{out}] := {step.kernel.name}"
+                f"(slot[{left}], slot[{right}], side={cfg.side})"
+            )
+        for fixup in self._fixups:
+            lines.append(f"  finalize: {getattr(fixup, '__name__', 'fixup')}")
+        return "\n".join(lines)
+
+
+def compile_plan(variant: Variant, sizes: Sequence[int]) -> ExecutionPlan:
+    """Compile ``(variant, sizes)`` into a replayable :class:`ExecutionPlan`."""
+    return ExecutionPlan(variant, sizes)

@@ -195,20 +195,20 @@ def _handle_dispatch(service: CompileService, payload: dict) -> dict:
 
 
 def _handle_execute(service: CompileService, payload: dict) -> dict:
-    from repro.compiler.executor import execute_variant, infer_sizes
-
     arrays_payload = payload.get("arrays")
     if not isinstance(arrays_payload, list) or not arrays_payload:
         raise ValueError("'execute' needs a non-empty 'arrays' list")
     handle = _resolve_handle(service, payload, "execute")
-    generated = service.lookup(handle)
-    if generated is None:
+    if service.lookup(handle) is None:
+        # Reject unknown/evicted handles before paying the payload decode
+        # (base64 .npy operands can be large).
         raise KeyError(f"unknown compilation handle {handle!r}")
     arrays = [decode_array(entry) for entry in arrays_payload]
     start = time.perf_counter()
-    sizes = infer_sizes(generated.chain, arrays)
-    variant, cost = generated.select(sizes)
-    result = execute_variant(variant, arrays)
+    # One live runtime per handle: the registry's dispatcher memoizes the
+    # (sizes -> variant, plan) decision, so repeated same-size requests
+    # skip the cost sweep and execute a pre-compiled plan.
+    sizes, variant, cost, result = service.execute(handle, arrays)
     elapsed_ms = 1e3 * (time.perf_counter() - start)
     encoding = payload.get("result_encoding")
     if encoding is None:

@@ -415,12 +415,30 @@ class CompileService:
         """Select the best variant for an instance of a compiled handle.
 
         Returns ``(variant, cost)``; raises :class:`KeyError` for an
-        unknown (or registry-evicted) handle.
+        unknown (or registry-evicted) handle.  The registry keeps one
+        live :class:`~repro.runtime.Dispatcher` per handle, so repeated
+        dispatches of the same sizes answer from its memo without a cost
+        sweep.
         """
+        generated = self._require(handle)
+        return generated.select(sizes)
+
+    def execute(self, handle: str, arrays: Sequence[np.ndarray]):
+        """Dispatch *and run* one instance against a compiled handle.
+
+        Returns a :class:`~repro.runtime.DispatchOutcome` (sizes, variant,
+        cost, result).  Sizes are inferred — and shapes thereby validated —
+        exactly once; a warm handle replays its memoized execution plan.
+        Raises :class:`KeyError` for an unknown handle.
+        """
+        generated = self._require(handle)
+        return generated.dispatcher.run(arrays)
+
+    def _require(self, handle: str) -> "GeneratedCode":
         generated = self.lookup(handle)
         if generated is None:
             raise KeyError(f"unknown compilation handle {handle!r}")
-        return generated.select(sizes)
+        return generated
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,410 @@
+"""Tests for the memoizing runtime dispatcher (repro.runtime.dispatcher)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.selection import all_variants
+from repro.runtime import (
+    Dispatcher,
+    execute_variant,
+    flop_estimator,
+    naive_evaluate,
+    random_instance_arrays,
+)
+
+from conftest import general_chain, random_option_chain, small_sizes_for
+
+
+class TestMemoCorrectness:
+    def test_warm_answers_match_cold_bit_identically(self):
+        rng = np.random.default_rng(0)
+        chain = random_option_chain(4, rng)
+        variants = all_variants(chain)
+        sizes = small_sizes_for(chain, rng)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        warm = Dispatcher(chain, variants)
+        cold_reference = execute_variant(warm.select(sizes)[0], list(arrays))
+        first = warm(*arrays)
+        second = warm(*arrays)  # memo hit
+        np.testing.assert_array_equal(first, cold_reference)
+        np.testing.assert_array_equal(second, first)
+        stats = warm.memo_stats()
+        assert stats["hits"] >= 1 and stats["misses"] == 1
+
+    def test_select_is_memoized(self):
+        chain = general_chain(4)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        q = (30, 2, 40, 3, 50)
+        first = dispatcher.select(q)
+        assert dispatcher.memo_stats()["misses"] == 1
+        second = dispatcher.select(q)
+        assert second[0] is first[0]
+        assert second[1] == first[1]
+        assert dispatcher.memo_stats()["hits"] == 1
+
+    def test_tie_break_stability_through_memo(self):
+        """Warm answers are the same decision, not merely an equal one."""
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(
+            chain, variants, cost_estimator=lambda v, q: 42.0
+        )
+        q = (4, 5, 6, 7)
+        picked, cost = dispatcher.select(q)
+        assert picked is variants[0] and cost == 42.0
+        for _ in range(5):
+            again, _ = dispatcher.select(q)
+            assert again is picked
+
+    def test_real_cost_tie_through_memo(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (10, 10, 10, 10)  # (AB)C and A(BC) tie exactly
+        for _ in range(3):
+            picked, _ = dispatcher.select(q)
+            assert picked.signature() == variants[0].signature()
+
+    def test_sizes_inferred_exactly_once_per_call(self, monkeypatch):
+        """The old path inferred sizes twice (dispatch + execute)."""
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        rng = np.random.default_rng(2)
+        arrays = random_instance_arrays(chain, (3, 4, 5, 6), rng)
+        from repro.runtime.executor import SizeInferencer
+
+        calls = []
+        real = SizeInferencer.infer
+
+        def counting(self, arrays_arg):
+            calls.append(1)
+            return real(self, arrays_arg)
+
+        monkeypatch.setattr(SizeInferencer, "infer", counting)
+        dispatcher(*arrays)  # cold: sweep + plan compile
+        dispatcher(*arrays)  # warm: memo replay
+        assert len(calls) == 2  # exactly one inference per call
+
+
+class TestMemoInvalidation:
+    def test_variants_reassignment_clears_the_memo(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (2, 3, 2, 100)
+        dispatcher.select(q)
+        dispatcher.variants = [variants[0]]
+        picked, cost = dispatcher.select(q)
+        assert picked is variants[0]
+        assert cost == pytest.approx(variants[0].flop_cost(q))
+        assert dispatcher.memo_stats()["misses"] == 2  # re-swept
+
+    def test_same_length_in_place_replacement_is_caught(self):
+        """Regression: the old guard only keyed the term stack on pool
+        *length*, so same-length in-place replacement silently reused the
+        stale flattened cost stack (and would now also hit a stale memo)."""
+        chain = general_chain(3)
+        v0, v1 = all_variants(chain)
+        dispatcher = Dispatcher(chain, [v0])
+        q = (2, 3, 2, 100)
+        _, cost_before = dispatcher.select(q)
+        assert cost_before == pytest.approx(v0.flop_cost(q))
+        dispatcher.variants[0] = v1  # in place, same length
+        picked, cost_after = dispatcher.select(q)
+        assert picked is v1
+        assert cost_after == pytest.approx(v1.flop_cost(q))
+        # Batched paths see the replacement too.
+        matrix = dispatcher.cost_matrix([q])
+        assert matrix[0, 0] == pytest.approx(v1.flop_cost(q))
+
+    def test_in_place_growth_still_caught(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, [variants[0]])
+        q = (100, 2, 3, 2)
+        dispatcher.select(q)
+        dispatcher.variants.extend(variants[1:])
+        _, cost = dispatcher.select(q)
+        assert cost == pytest.approx(min(v.flop_cost(q) for v in variants))
+
+    def test_cost_estimator_swap_clears_the_memo(self):
+        chain = general_chain(3)
+        variants = all_variants(chain)
+        dispatcher = Dispatcher(chain, variants)
+        q = (2, 3, 2, 100)
+        best, _ = dispatcher.select(q)
+        assert best.flop_cost(q) == pytest.approx(
+            min(v.flop_cost(q) for v in variants)
+        )
+        dispatcher.cost_estimator = lambda v, sizes: -flop_estimator(v, sizes)
+        worst, _ = dispatcher.select(q)
+        assert worst.flop_cost(q) == pytest.approx(
+            max(v.flop_cost(q) for v in variants)
+        )
+        assert worst.signature() != best.signature()
+
+
+class TestMemoBounds:
+    def test_capacity_is_enforced_lru(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain), memo_capacity=2)
+        for m in (2, 3, 4, 5):
+            dispatcher.select((m, 3, 4, 5))
+        assert dispatcher.memo_stats()["entries"] == 2
+        # The most recent entries are retained.
+        dispatcher.select((5, 3, 4, 5))
+        assert dispatcher.memo_stats()["hits"] == 1
+
+    def test_zero_capacity_disables_memoization(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain), memo_capacity=0)
+        q = (4, 5, 6, 7)
+        dispatcher.select(q)
+        dispatcher.select(q)
+        stats = dispatcher.memo_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_negative_capacity_rejected(self):
+        from repro.errors import DispatchError
+
+        chain = general_chain(3)
+        with pytest.raises(DispatchError):
+            Dispatcher(chain, all_variants(chain), memo_capacity=-1)
+
+
+class TestValidateFastPath:
+    def test_cost_matrix_parity(self):
+        chain = general_chain(4)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        instances = np.array(
+            [[3, 4, 5, 6, 7], [10, 2, 9, 2, 10]], dtype=np.float64
+        )
+        np.testing.assert_array_equal(
+            dispatcher.cost_matrix(instances, validate=False),
+            dispatcher.cost_matrix(instances, validate=True),
+        )
+
+    def test_select_many_parity(self):
+        chain = general_chain(4)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        instances = [(3, 4, 5, 6, 7), (10, 2, 9, 2, 10)]
+        fast = dispatcher.select_many(instances, validate=False)
+        slow = dispatcher.select_many(instances, validate=True)
+        assert [(v.signature(), c) for v, c in fast] == [
+            (v.signature(), c) for v, c in slow
+        ]
+
+    def test_fast_path_still_checks_width(self):
+        from repro.errors import DispatchError
+
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        with pytest.raises(DispatchError, match="expected 4"):
+            dispatcher.cost_matrix(np.ones((2, 3)), validate=False)
+
+
+class TestExecuteMany:
+    def test_matches_per_call_execution(self):
+        rng = np.random.default_rng(7)
+        chain = random_option_chain(3, rng)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        batches = []
+        for _ in range(6):
+            sizes = small_sizes_for(chain, rng)
+            batches.append(random_instance_arrays(chain, sizes, rng))
+        batched = dispatcher.execute_many(batches)
+        solo = Dispatcher(chain, dispatcher.variants)
+        for arrays, got in zip(batches, batched):
+            np.testing.assert_array_equal(got, solo(*arrays))
+
+    def test_batch_warms_the_memo(self):
+        rng = np.random.default_rng(8)
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        sizes = (3, 4, 5, 6)
+        batches = [
+            random_instance_arrays(chain, sizes, rng) for _ in range(4)
+        ]
+        dispatcher.execute_many(batches)
+        assert dispatcher.memo_stats()["entries"] == 1
+        dispatcher(*batches[0])
+        assert dispatcher.memo_stats()["hits"] >= 1
+
+    def test_empty_batch(self):
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        assert dispatcher.execute_many([]) == []
+
+
+class TestRunOutcome:
+    def test_outcome_fields(self):
+        rng = np.random.default_rng(9)
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        sizes = (3, 4, 5, 6)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        outcome = dispatcher.run(arrays)
+        assert outcome.sizes == sizes
+        assert outcome.variant in dispatcher.variants
+        assert outcome.cost == pytest.approx(dispatcher.select(sizes)[1])
+        np.testing.assert_allclose(
+            outcome.result, naive_evaluate(chain, arrays), atol=1e-8
+        )
+
+
+class TestProgramRuntime:
+    def test_runtime_is_cached_and_to_dispatcher_is_fresh(self):
+        from repro import compile_chain
+
+        generated = compile_chain(
+            "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;",
+            use_cache=False,
+        )
+        program = generated.to_program()
+        runtime = program.runtime()
+        assert program.runtime() is runtime
+        assert program.to_dispatcher() is not runtime
+        # A different estimator builds (and caches) a different runtime.
+        other = program.runtime(lambda v, q: 1.0)
+        assert other is not runtime
+
+    def test_program_execute_hits_the_memo(self):
+        from repro import compile_chain
+
+        generated = compile_chain(
+            "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;",
+            use_cache=False,
+        )
+        program = generated.to_program()
+        rng = np.random.default_rng(3)
+        arrays = random_instance_arrays(program.chain, (3, 4, 5), rng)
+        first = program.execute(*arrays)
+        second = program.execute(*arrays)
+        np.testing.assert_array_equal(first, second)
+        assert program.runtime().memo_stats()["hits"] >= 1
+
+    def test_generated_code_dispatcher_is_the_program_runtime(self):
+        from repro import compile_chain
+
+        generated = compile_chain(
+            "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;",
+            use_cache=False,
+        )
+        assert generated.program is not None
+        assert generated.dispatcher is generated.program.runtime()
+
+    def test_loaded_artifact_shares_the_live_runtime(self, tmp_path):
+        from repro import compile_chain, load_program
+
+        generated = compile_chain(
+            "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;",
+            use_cache=False,
+        )
+        path = tmp_path / "prog.json"
+        generated.save(path)
+        loaded = load_program(path)
+        assert loaded.dispatcher is loaded.program.runtime()
+        rng = np.random.default_rng(4)
+        arrays = random_instance_arrays(loaded.chain, (3, 4, 5), rng)
+        np.testing.assert_array_equal(loaded(*arrays), loaded(*arrays))
+        assert loaded.dispatcher.memo_stats()["hits"] >= 1
+
+
+class TestShims:
+    def test_compiler_dispatch_shim(self):
+        from repro.compiler.dispatch import Dispatcher as ShimDispatcher
+        from repro.compiler.dispatch import flop_estimator as shim_estimator
+
+        assert ShimDispatcher is Dispatcher
+        assert shim_estimator is flop_estimator
+
+    def test_compiler_executor_shim(self):
+        from repro.compiler import executor as shim
+        from repro.runtime import executor as real
+
+        for name in (
+            "KernelCallConfig",
+            "execute_variant",
+            "expected_stored_shapes",
+            "infer_sizes",
+            "naive_evaluate",
+            "random_instance_arrays",
+            "random_matrix",
+        ):
+            assert getattr(shim, name) is getattr(real, name)
+
+
+class TestServeWarmMemo:
+    SOURCE = "Matrix A <General, Singular>; Matrix B <General, Singular>; R := A * B;"
+
+    @staticmethod
+    def _execute(service, handle, arrays):
+        from repro.serve.frontend import handle_request
+
+        response = handle_request(
+            service,
+            {
+                "op": "execute",
+                "handle": handle,
+                "arrays": [a.tolist() for a in arrays],
+            },
+        )
+        assert response["ok"], response
+        return response
+
+    def test_execute_identical_with_and_without_warm_memo(self):
+        """The serve `execute` op answers bit-identically whether the
+        handle's dispatch memo is cold or warm."""
+        from repro.serve import CompileService
+        from repro.serve.frontend import handle_request
+
+        rng = np.random.default_rng(11)
+        arrays = None
+        responses = []
+        for _ in range(2):  # two independent services: cold vs warmed
+            with CompileService(workers=1, warm=False) as service:
+                compiled = handle_request(
+                    service, {"op": "compile", "source": self.SOURCE}
+                )
+                assert compiled["ok"], compiled
+                handle = compiled["handle"]
+                if arrays is None:
+                    generated = service.lookup(handle)
+                    arrays = random_instance_arrays(
+                        generated.chain, (3, 4, 5), rng
+                    )
+                cold = self._execute(service, handle, arrays)
+                warm = self._execute(service, handle, arrays)  # memo hit
+                assert warm["result"] == cold["result"]
+                assert warm["variant"] == cold["variant"]
+                assert warm["cost"] == cold["cost"]
+                assert service.lookup(handle).dispatcher.memo_stats()[
+                    "hits"
+                ] >= 1
+                responses.append(cold)
+        # Across services (cold memo vs fresh process state): identical.
+        assert responses[0]["result"] == responses[1]["result"]
+        assert responses[0]["variant"] == responses[1]["variant"]
+
+    def test_service_execute_matches_interpretive_reference(self):
+        """service.execute == pre-refactor select + execute_variant."""
+        from repro.ir.parser import parse_program
+        from repro.serve import CompileService
+
+        rng = np.random.default_rng(12)
+        chain = parse_program(self.SOURCE).chain
+        with CompileService(workers=1, warm=False) as service:
+            future = service.submit(chain)
+            generated = future.result(timeout=30)
+            handle = future.handle
+            arrays = random_instance_arrays(generated.chain, (4, 5, 6), rng)
+            outcome = service.execute(handle, arrays)
+            variant, cost = generated.select((4, 5, 6))
+            np.testing.assert_array_equal(
+                outcome.result, execute_variant(variant, list(arrays))
+            )
+            assert outcome.variant.signature() == variant.signature()
+            assert outcome.cost == cost
+            with pytest.raises(KeyError):
+                service.execute("no-such-handle", arrays)

@@ -1,0 +1,100 @@
+"""Tests for compiled execution plans (repro.runtime.plan)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, ShapeError
+from repro.ir.chain import Chain
+from repro.compiler.selection import all_variants
+from repro.runtime import (
+    compile_plan,
+    execute_variant,
+    naive_evaluate,
+    random_instance_arrays,
+)
+
+from conftest import (
+    general_chain,
+    make_general,
+    random_option_chain,
+    small_sizes_for,
+)
+
+
+class TestPlanExecution:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_interpretive_executor_and_oracle(self, seed):
+        """A plan replays exactly what execute_variant computes."""
+        rng = np.random.default_rng(seed)
+        chain = random_option_chain(int(rng.integers(2, 6)), rng)
+        sizes = small_sizes_for(chain, rng)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        expected = naive_evaluate(chain, arrays)
+        scale = max(1.0, float(np.abs(expected).max()))
+        for variant in all_variants(chain):
+            plan = compile_plan(variant, sizes)
+            got = plan.execute(arrays)
+            # Bit-identical to the interpretive path: same kernels, same
+            # order, same arrays.
+            np.testing.assert_array_equal(
+                got, execute_variant(variant, arrays)
+            )
+            np.testing.assert_allclose(
+                got / scale, expected / scale, atol=1e-7
+            )
+
+    def test_replay_is_deterministic(self):
+        rng = np.random.default_rng(42)
+        chain = general_chain(4)
+        sizes = (5, 6, 7, 8, 9)
+        plan = compile_plan(all_variants(chain)[0], sizes)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        first = plan.execute(arrays)
+        for _ in range(3):
+            np.testing.assert_array_equal(plan.execute(arrays), first)
+
+    def test_single_matrix_chain(self):
+        chain = Chain((make_general("A", invertible=True).inv,))
+        [variant] = all_variants(chain)
+        plan = compile_plan(variant, (4, 4))
+        rng = np.random.default_rng(0)
+        [a] = random_instance_arrays(chain, (4, 4), rng)
+        np.testing.assert_allclose(plan.execute([a]) @ a, np.eye(4), atol=1e-8)
+
+    def test_plan_records_instance_metadata(self):
+        chain = general_chain(3)
+        variant = all_variants(chain)[0]
+        plan = compile_plan(variant, (3, 4, 5, 6))
+        assert plan.sizes == (3, 4, 5, 6)
+        assert plan.expected_shapes == ((3, 4), (4, 5), (5, 6))
+        assert plan.variant is variant
+        assert "execution plan" in plan.describe()
+
+
+class TestPlanValidation:
+    def test_compile_rejects_invalid_sizes(self):
+        chain = general_chain(3)
+        with pytest.raises(ShapeError):
+            compile_plan(all_variants(chain)[0], (3, 4))  # wrong length
+
+    def test_execute_rejects_wrong_operand_count(self):
+        chain = general_chain(3)
+        plan = compile_plan(all_variants(chain)[0], (3, 4, 5, 6))
+        with pytest.raises(ExecutionError, match="expected 3 arrays"):
+            plan.execute([np.zeros((3, 4))])
+
+    def test_check_shapes_catches_mismatch(self):
+        chain = general_chain(2)
+        plan = compile_plan(all_variants(chain)[0], (3, 4, 5))
+        bad = [np.zeros((3, 4)), np.zeros((9, 5))]
+        with pytest.raises(ExecutionError, match="stored shape"):
+            plan.execute(bad, check_shapes=True)
+        plan.validate([np.zeros((3, 4)), np.zeros((4, 5))])  # passes
+
+    def test_callable_alias(self):
+        rng = np.random.default_rng(1)
+        chain = general_chain(2)
+        sizes = (3, 4, 5)
+        plan = compile_plan(all_variants(chain)[0], sizes)
+        arrays = random_instance_arrays(chain, sizes, rng)
+        np.testing.assert_array_equal(plan(arrays), plan.execute(arrays))
