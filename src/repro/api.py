@@ -96,12 +96,18 @@ class GeneratedCode:
         return serialize.dumps(self.chain, self.variants, indent=indent)
 
     @staticmethod
-    def from_json(payload: str, cost_estimator: CostEstimator = flop_estimator) -> "GeneratedCode":
+    def from_json(
+        payload: str,
+        cost_estimator: CostEstimator = flop_estimator,
+        backend: str = "reference",
+    ) -> "GeneratedCode":
         """Rebuild generated code from :meth:`to_json` output."""
         from repro.codegen import serialize
 
         chain, variants = serialize.loads(payload)
-        dispatcher = Dispatcher(chain, variants, cost_estimator=cost_estimator)
+        dispatcher = Dispatcher(
+            chain, variants, cost_estimator=cost_estimator, backend=backend
+        )
         return GeneratedCode(
             chain=chain,
             variants=variants,
@@ -165,6 +171,7 @@ def compile_chain(
     simplify: Optional[bool] = None,
     variant_space: Optional[str] = None,
     max_variants: Optional[int] = None,
+    backend: Optional[str] = None,
     use_cache: bool = True,
     session: Optional["CompilerSession"] = None,
 ) -> GeneratedCode:
@@ -200,6 +207,14 @@ def compile_chain(
     max_variants:
         Bound on the candidate pool; fanning-out variants are never
         evicted.  ``None`` defers to the space's own default.
+    backend:
+        Execution-backend strategy of the built dispatcher:
+        ``"reference"`` (the numpy kernel substrate), ``"blas"`` (direct
+        ``scipy.linalg.blas``/``lapack`` lowering), or ``"auto"``
+        (micro-benchmark both per memoized size vector, serve the
+        measured winner).  A runtime knob — it never changes which
+        variants are selected, and compilations differing only here share
+        one cache entry.
     session:
         The :class:`~repro.compiler.session.CompilerSession` to compile in;
         defaults to the shared process-wide session (and its cache).
@@ -219,11 +234,14 @@ def compile_chain(
         simplify=simplify,
         variant_space=variant_space,
         max_variants=max_variants,
+        backend=backend,
     )
 
 
 def load_program(
-    path, cost_estimator: CostEstimator = flop_estimator
+    path,
+    cost_estimator: CostEstimator = flop_estimator,
+    backend: Optional[str] = None,
 ) -> GeneratedCode:
     """Load a compilation artifact file into an executable ``GeneratedCode``.
 
@@ -231,8 +249,12 @@ def load_program(
     wire format, as written by ``repro compile --output``,
     :meth:`GeneratedCode.save`, or a cache :class:`~repro.serve.DiskBackend`
     entry.  Loading reconstructs a working dispatcher without recompiling.
+    ``backend`` overrides the artifact's own execution-backend snapshot
+    (``repro run --backend``).
     """
-    return CompiledProgram.load(path).to_generated_code(cost_estimator)
+    return CompiledProgram.load(path).to_generated_code(
+        cost_estimator, backend=backend
+    )
 
 
 def compile_many(

@@ -14,7 +14,9 @@ Commands:
 * ``run`` — load a compiled artifact (``repro compile --output``, a cache
   entry file, or a served ``artifact`` response saved to disk) and use it
   without recompiling: describe it, dispatch on ``--sizes``, or execute on
-  concrete matrices from an ``--npz`` file.
+  concrete matrices from an ``--npz`` file; ``--backend
+  {reference,blas,auto}`` picks the execution backend, and dispatching
+  prints the compiled plan with the routine each step lowered to.
 * ``cache stats`` / ``cache clear`` / ``cache warm`` — inspect, empty, or
   warm-validate the on-disk compilation cache.
 * ``serve`` — long-lived JSON-lines compilation service
@@ -108,6 +110,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             seed=args.seed,
             variant_space=args.variant_space,
             max_variants=args.max_variants,
+            backend=args.backend,
         )
         print(generated.describe())
         if args.cpp:
@@ -124,6 +127,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         seed=args.seed,
         variant_space=args.variant_space,
         max_variants=args.max_variants,
+        backend=args.backend,
     )
     print(generated.describe())
     print()
@@ -167,9 +171,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 return 2
         # The artifact's live runtime: sizes inferred once, dispatch and
         # plan-compiled execution in one pass (repro.runtime).
-        sizes, variant, cost, result = program.runtime().run(arrays)
+        runtime = program.runtime(backend=args.backend)
+        sizes, variant, cost, result = runtime.run(arrays)
         print(f"instance sizes: {list(sizes)}")
         print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        _, _, plan = runtime.plan_for(sizes, validate=False)
+        print(plan.describe())
         if args.out:
             np.save(args.out, result)
             print(f"wrote result {result.shape} to {args.out}")
@@ -181,9 +188,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.sizes:
         sizes = [int(part) for part in args.sizes.replace(",", " ").split()]
-        variant, cost = program.runtime().select(sizes)
+        variant, cost, plan = program.runtime(backend=args.backend).plan_for(
+            sizes
+        )
         print(f"instance sizes: {sizes}")
         print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        print(plan.describe())
         return 0
 
     print(program.describe())
@@ -221,17 +231,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.compiler.pipeline import CompileOptions
     from repro.compiler.session import CompilerSession
     from repro.serve import CompileService, make_tcp_server, serve_stream
     from repro.serve.backends import default_backend
 
-    backend = default_backend(
+    cache_backend = default_backend(
         args.cache_dir,
         max_entries=args.max_cache_entries,
         max_bytes=args.max_cache_bytes,
     )
     session = CompilerSession(
-        cache_capacity=args.cache_capacity, cache_backend=backend
+        cache_capacity=args.cache_capacity,
+        cache_backend=cache_backend,
+        options=(
+            CompileOptions(backend=args.backend) if args.backend else None
+        ),
     )
     service = CompileService(
         session,
@@ -413,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound the candidate pool (fanning-out variants always kept)",
     )
+    p.add_argument(
+        "--backend",
+        choices=["reference", "blas", "auto"],
+        default=None,
+        help="execution backend of the built dispatcher, recorded in the "
+        "artifact (default: the session's default, i.e. reference)",
+    )
     p.add_argument("--cpp", action="store_true", help="emit generated C++")
     p.add_argument("--function-name", default="evaluate_chain")
     p.add_argument(
@@ -456,6 +478,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--out", default=None, help="write the executed result to this .npy file"
+    )
+    p.add_argument(
+        "--backend",
+        choices=["reference", "blas", "auto"],
+        default=None,
+        help="execution backend: reference (numpy substrate), blas (direct "
+        "scipy.linalg.blas/lapack lowering), or auto (micro-benchmark "
+        "both per size vector, run the measured winner); default: the "
+        "backend recorded in the artifact",
     )
     p.set_defaults(func=_cmd_run)
 
@@ -512,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--max-queue", type=int, default=256, help="bound on queued compilations"
+    )
+    p.add_argument(
+        "--backend",
+        choices=["reference", "blas", "auto"],
+        default=None,
+        help="default execution backend for served compilations (per-request "
+        "'backend' options override it)",
     )
     p.add_argument(
         "--no-warm",

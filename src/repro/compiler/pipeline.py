@@ -67,6 +67,13 @@ class CompileOptions:
     #: unbounded for exhaustive, 512 for DP-seeded).  Fanning-out variants
     #: are never evicted by the bound.
     max_variants: Optional[int] = None
+    #: Execution-backend strategy for the built dispatcher:
+    #: ``"reference"``, ``"blas"``, or ``"auto"`` (measured pick per memo
+    #: entry).  See :mod:`repro.runtime.backends`.  A *runtime* knob: it
+    #: never influences which variants are selected, so it is excluded
+    #: from :meth:`cache_token` — compilations differing only in backend
+    #: share one cache entry and diverge in the dispatch pass.
+    backend: str = "reference"
     #: Digest of an explicitly supplied training set (None when sampled).
     training_fingerprint: Optional[str] = None
 
@@ -91,6 +98,13 @@ class CompileOptions:
                 "num_training_instances must be >= 1, got "
                 f"{self.num_training_instances!r} (selection needs at least "
                 "one instance to score against)"
+            )
+        from repro.runtime.backends import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise CompilationError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
             )
 
     def cache_token(self) -> tuple:

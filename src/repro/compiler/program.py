@@ -255,21 +255,36 @@ class CompiledProgram:
 
     # -- reconstruction ------------------------------------------------------
 
+    def _resolve_backend(self, backend: Optional[str]) -> str:
+        """An explicit backend request, else the compile-time snapshot."""
+        if backend is not None:
+            return backend
+        return str(self.options.get("backend") or "reference")
+
     def to_dispatcher(
-        self, cost_estimator: CostEstimator = flop_estimator
+        self,
+        cost_estimator: CostEstimator = flop_estimator,
+        backend: Optional[str] = None,
     ) -> Dispatcher:
         """A *fresh* run-time dispatcher over the artifact's variants.
 
         Each call builds a new dispatcher (empty memo, cold term stack);
         use :meth:`runtime` for the shared per-artifact instance that
-        amortizes dispatch state across calls.
+        amortizes dispatch state across calls.  ``backend`` defaults to
+        the artifact's own options snapshot (``reference`` for artifacts
+        predating execution backends).
         """
         return Dispatcher(
-            self.chain, list(self.variants), cost_estimator=cost_estimator
+            self.chain,
+            list(self.variants),
+            cost_estimator=cost_estimator,
+            backend=self._resolve_backend(backend),
         )
 
     def runtime(
-        self, cost_estimator: CostEstimator = flop_estimator
+        self,
+        cost_estimator: CostEstimator = flop_estimator,
+        backend: Optional[str] = None,
     ) -> Dispatcher:
         """The artifact's live runtime: one memoizing dispatcher, reused.
 
@@ -277,18 +292,26 @@ class CompiledProgram:
         :meth:`execute` calls (and every consumer holding this program)
         share one dispatch memo and one flattened cost-term stack instead
         of rebuilding them per request.  Asking for a different
-        ``cost_estimator`` than the cached runtime's builds a fresh one.
+        ``cost_estimator`` or ``backend`` than the cached runtime's builds
+        a fresh one.
         """
+        resolved = self._resolve_backend(backend)
         cached: Optional[Dispatcher] = getattr(self, "_runtime", None)
-        if cached is not None and cached.cost_estimator is cost_estimator:
+        if (
+            cached is not None
+            and cached.cost_estimator is cost_estimator
+            and cached.backend == resolved
+        ):
             return cached
-        dispatcher = self.to_dispatcher(cost_estimator)
+        dispatcher = self.to_dispatcher(cost_estimator, backend=resolved)
         # Frozen dataclass: the runtime is a derived cache, not wire state.
         object.__setattr__(self, "_runtime", dispatcher)
         return dispatcher
 
     def to_generated_code(
-        self, cost_estimator: CostEstimator = flop_estimator
+        self,
+        cost_estimator: CostEstimator = flop_estimator,
+        backend: Optional[str] = None,
     ):
         """The :class:`~repro.api.GeneratedCode` facade over this artifact."""
         from repro.api import GeneratedCode
@@ -298,7 +321,7 @@ class CompiledProgram:
             variants=list(self.variants),
             # The artifact's live runtime, not a fresh dispatcher: every
             # facade over this program shares one dispatch memo.
-            dispatcher=self.runtime(cost_estimator),
+            dispatcher=self.runtime(cost_estimator, backend=backend),
             training_instances=np.asarray(self.training_instances),
             program=self,
         )

@@ -15,12 +15,29 @@ that second half, structured for the per-request hot path:
   dispatch function with a bounded size-keyed memo: repeated instances
   bypass the cost sweep and replay their compiled plan, making the
   steady-state per-call path amortized O(1) in everything but the kernel
-  work itself.
+  work itself;
+* :mod:`repro.runtime.backends` — pluggable execution backends
+  (``reference`` and ``blas``) that lower each frozen kernel call to a
+  direct callable at plan-compile time, plus the dispatcher's measured
+  ``auto`` strategy.
 
 ``repro.compiler.dispatch`` and ``repro.compiler.executor`` remain as
 import shims for pre-existing call sites.
 """
 
+from repro.runtime.backends import (
+    BACKEND_NAMES,
+    BLAS_LOWERED_KERNELS,
+    Backend,
+    BlasBackend,
+    FALLBACK_ROUTINE,
+    LoweredKernel,
+    PLAN_BACKEND_NAMES,
+    REFERENCE_ROUTINE,
+    ReferenceBackend,
+    blas_available,
+    get_backend,
+)
 from repro.runtime.executor import (
     KernelCallConfig,
     SizeInferencer,
@@ -41,11 +58,22 @@ from repro.runtime.dispatcher import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BLAS_LOWERED_KERNELS",
+    "Backend",
+    "BlasBackend",
     "DEFAULT_MEMO_CAPACITY",
     "CostEstimator",
     "DispatchOutcome",
     "Dispatcher",
     "ExecutionPlan",
+    "FALLBACK_ROUTINE",
+    "LoweredKernel",
+    "PLAN_BACKEND_NAMES",
+    "REFERENCE_ROUTINE",
+    "ReferenceBackend",
+    "blas_available",
+    "get_backend",
     "KernelCallConfig",
     "SizeInferencer",
     "compile_plan",

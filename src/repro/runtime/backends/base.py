@@ -1,0 +1,64 @@
+"""The execution-backend strategy interface.
+
+A :class:`Backend` decides *how* a frozen kernel call executes: given a
+kernel name and its :class:`~repro.runtime.executor.KernelCallConfig`
+(both fixed at plan-compile time), it returns a :class:`LoweredKernel` —
+a direct ``(left, right) -> result`` callable plus the name of the
+routine the call lowered to.  :class:`~repro.runtime.plan.ExecutionPlan`
+asks its backend once per step and replays the returned callables; the
+backend never sees per-call state, so one lowered kernel may serve
+concurrent replays.
+
+Two backends ship: ``reference`` (the numpy/scipy reference
+implementations, structured operands executed densely) and ``blas``
+(:mod:`repro.runtime.backends.blas`, direct ``scipy.linalg.blas`` /
+``lapack`` calls with the structure flags pre-resolved).  The dispatcher
+adds a third *strategy*, ``auto``, which is not a backend of its own: it
+compiles a plan per concrete backend and serves the measured winner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import KernelCallConfig
+
+#: Routine label of a kernel the backend could not lower and delegated to
+#: the reference implementation instead.
+FALLBACK_ROUTINE = "reference fallback"
+
+
+class LoweredKernel(NamedTuple):
+    """One kernel call lowered for a frozen configuration."""
+
+    #: Direct ``(stored_left, stored_right) -> result`` callable.
+    impl: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    #: Human-readable routine the call lowered to (``"dgemm"``,
+    #: ``"dtrmm"``, ..., ``"reference"``, or :data:`FALLBACK_ROUTINE`).
+    routine: str
+
+
+class Backend(ABC):
+    """Strategy that lowers frozen kernel calls to executable routines."""
+
+    #: The registry name (``"reference"`` or ``"blas"``).
+    name: str = ""
+
+    @abstractmethod
+    def specialize(
+        self, kernel_name: str, cfg: "KernelCallConfig"
+    ) -> LoweredKernel:
+        """Lower one kernel call for a frozen configuration.
+
+        Must never raise for a kernel the reference substrate implements:
+        configurations the backend cannot express are returned as a
+        reference-implementation :class:`LoweredKernel` labelled
+        :data:`FALLBACK_ROUTINE`, keeping plan compilation total.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,34 @@
+"""The reference execution backend: today's numpy/scipy kernel substrate.
+
+A thin adapter over :func:`repro.kernels.reference.specialize_kernel` —
+the exact per-step callables execution plans used before backends became
+a strategy, so ``backend="reference"`` is bit-identical to the historical
+behaviour (structured products executed as full dense matmuls, solves
+through the family solver of :data:`~repro.kernels.reference.SOLVER_BY_KERNEL`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernels import reference
+from repro.runtime.backends.base import Backend, LoweredKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import KernelCallConfig
+
+#: Routine label of every reference-lowered kernel.
+REFERENCE_ROUTINE = "reference"
+
+
+class ReferenceBackend(Backend):
+    """Lower every kernel to its specialized reference implementation."""
+
+    name = "reference"
+
+    def specialize(
+        self, kernel_name: str, cfg: "KernelCallConfig"
+    ) -> LoweredKernel:
+        return LoweredKernel(
+            reference.specialize_kernel(kernel_name, cfg), REFERENCE_ROUTINE
+        )

@@ -33,6 +33,7 @@ stateless and replay concurrently).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
 
@@ -40,7 +41,8 @@ import numpy as np
 
 from repro.errors import DispatchError
 from repro.ir.chain import Chain
-from repro.runtime.executor import SizeInferencer
+from repro.runtime.backends import BACKEND_NAMES, FALLBACK_ROUTINE
+from repro.runtime.executor import SizeInferencer, random_instance_arrays
 from repro.runtime.plan import ExecutionPlan, compile_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,6 +53,9 @@ CostEstimator = Callable[["Variant", Sequence[int]], float]
 
 #: Default bound on memoized size vectors per dispatcher.
 DEFAULT_MEMO_CAPACITY = 512
+
+#: Replays per backend when ``auto`` micro-benchmarks a memo entry.
+AUTO_BENCH_REPS = 2
 
 
 def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
@@ -74,7 +79,7 @@ class _MemoEntry:
     pool), so a stale entry can never index out of a reassigned list.
     """
 
-    __slots__ = ("variant", "cost", "plan")
+    __slots__ = ("variant", "cost", "plan", "backend", "bench")
 
     def __init__(
         self, variant: "Variant", cost: float, plan: Optional[ExecutionPlan]
@@ -82,6 +87,10 @@ class _MemoEntry:
         self.variant = variant
         self.cost = cost
         self.plan = plan
+        #: Concrete backend the compiled plan runs on (set with the plan).
+        self.backend: Optional[str] = None
+        #: ``auto`` only: measured seconds per backend for this entry.
+        self.bench: Optional[dict[str, float]] = None
 
 
 class Dispatcher:
@@ -103,6 +112,7 @@ class Dispatcher:
         variants: Sequence[Variant],
         cost_estimator: CostEstimator = flop_estimator,
         memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+        backend: str = "reference",
     ):
         if not variants:
             raise DispatchError("a dispatcher needs at least one variant")
@@ -118,12 +128,21 @@ class Dispatcher:
         self._infer = SizeInferencer(chain)
         self.memo_hits = 0  #: dispatch decisions answered from the memo
         self.memo_misses = 0  #: dispatch decisions that paid a cost sweep
+        #: executed instances per concrete plan backend (observability for
+        #: the ``auto`` strategy; see :meth:`memo_stats`)
+        self.backend_executions: dict[str, int] = {}
+        #: wall-clock seconds of the most recent run()/execute_many replay
+        self.last_execute_seconds: Optional[float] = None
+        #: monotonic stamp of that replay (lets aggregators order
+        #: "most recent" across dispatchers); None until the first one
+        self.last_execute_at: Optional[float] = None
         self._memo: OrderedDict[tuple[int, ...], _MemoEntry] = OrderedDict()
         self._memo_lock = threading.Lock()
         self._pool_snapshot: Optional[tuple[Variant, ...]] = None
         self._term_stack = None
         self.variants = list(variants)  # via the setter: resets the caches
         self._cost_estimator = cost_estimator
+        self._backend = self._validate_backend(backend)
 
     # -- pool and estimator bookkeeping --------------------------------------
 
@@ -149,6 +168,35 @@ class Dispatcher:
         self._cost_estimator = value
         with self._memo_lock:
             self._memo.clear()
+
+    @staticmethod
+    def _validate_backend(backend: str) -> str:
+        if backend not in BACKEND_NAMES:
+            raise DispatchError(
+                f"unknown execution backend {backend!r}; "
+                f"choose one of {BACKEND_NAMES}"
+            )
+        return backend
+
+    @property
+    def backend(self) -> str:
+        """The execution-backend strategy (``reference``/``blas``/``auto``)."""
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: str) -> None:
+        value = self._validate_backend(value)
+        if value == self._backend:
+            return
+        self._backend = value
+        # Memoized *decisions* (variant + cost) are backend-independent;
+        # only the compiled plans and measurements are stale.  Keep the
+        # selections warm and recompile plans lazily under the new backend.
+        with self._memo_lock:
+            for entry in self._memo.values():
+                entry.plan = None
+                entry.backend = None
+                entry.bench = None
 
     def _invalidate(self) -> None:
         with self._memo_lock:
@@ -361,11 +409,53 @@ class Dispatcher:
             else tuple(int(s) for s in sizes)
         )
         entry = self._select_entry(q)
+        return entry.variant, entry.cost, self._entry_plan(entry, q)
+
+    def _entry_plan(self, entry: _MemoEntry, q: tuple[int, ...]) -> ExecutionPlan:
+        """The entry's compiled plan, lowering it through the backend
+        strategy on first use (``auto`` micro-benchmarks here, once per
+        memo entry)."""
         plan = entry.plan
         if plan is None:
-            plan = compile_plan(entry.variant, q)
+            if self._backend == "auto":
+                plan = self._auto_plan(entry, q)
+            else:
+                plan = compile_plan(entry.variant, q, backend=self._backend)
+            entry.backend = plan.backend
             entry.plan = plan
-        return entry.variant, entry.cost, plan
+        return plan
+
+    def _auto_plan(self, entry: _MemoEntry, q: tuple[int, ...]) -> ExecutionPlan:
+        """Measure both concrete lowerings of this entry, keep the winner.
+
+        The micro-benchmark replays each lowered plan ``AUTO_BENCH_REPS``
+        times on one synthetic instance and takes the best time; the cost
+        is paid once per ``(variant, sizes)`` memo entry and the verdict
+        is cached alongside the plan (:attr:`_MemoEntry.bench`).  When the
+        blas lowering is pure fallback the plans are identical callables,
+        so reference wins without measuring.
+        """
+        ref_plan = compile_plan(entry.variant, q, backend="reference")
+        blas_plan = compile_plan(entry.variant, q, backend="blas")
+        if not blas_plan.step_routines or all(
+            routine == FALLBACK_ROUTINE for routine in blas_plan.step_routines
+        ):
+            return ref_plan
+        arrays = random_instance_arrays(
+            entry.variant.chain, q, np.random.default_rng(0)
+        )
+        bench: dict[str, float] = {}
+        candidates = {"reference": ref_plan, "blas": blas_plan}
+        for name, plan in candidates.items():
+            best = float("inf")
+            for _ in range(AUTO_BENCH_REPS):
+                start = time.perf_counter()
+                plan.replay(list(arrays))
+                best = min(best, time.perf_counter() - start)
+            bench[name] = best
+        winner = min(bench, key=bench.get)
+        entry.bench = bench
+        return candidates[winner]
 
     def costs(self, sizes: Sequence[int]) -> list[tuple[str, float]]:
         """Estimated cost of every variant (for inspection/debugging)."""
@@ -386,7 +476,16 @@ class Dispatcher:
         values = [np.asarray(a, dtype=np.float64) for a in arrays]
         sizes = self._infer.infer(values)
         variant, cost, plan = self.plan_for(sizes, validate=False)
-        return DispatchOutcome(sizes, variant, cost, plan.replay(values))
+        start = time.perf_counter()
+        result = plan.replay(values)
+        elapsed = time.perf_counter() - start
+        with self._memo_lock:
+            self.backend_executions[plan.backend] = (
+                self.backend_executions.get(plan.backend, 0) + 1
+            )
+            self.last_execute_seconds = elapsed
+            self.last_execute_at = time.monotonic()
+        return DispatchOutcome(sizes, variant, cost, result)
 
     def __call__(self, *arrays: np.ndarray) -> np.ndarray:
         """Evaluate the chain: infer sizes, pick the best variant, run it."""
@@ -445,6 +544,8 @@ class Dispatcher:
                             while len(self._memo) > self.memo_capacity:
                                 self._memo.popitem(last=False)
         results = []
+        executed: dict[str, int] = {}
+        start = time.perf_counter()
         for q, arrays in zip(sized, prepared):
             # Counters were settled above.  The local entries keep the
             # one-sweep promise even with memo_capacity=0 or immediate
@@ -453,21 +554,37 @@ class Dispatcher:
             entry = self._lookup(q, count=False) or local.get(q)
             if entry is None:
                 entry = self._select_entry(q)
-            plan = entry.plan
-            if plan is None:
-                plan = compile_plan(entry.variant, q)
-                entry.plan = plan
+            plan = self._entry_plan(entry, q)
             results.append(plan.replay(arrays))
+            executed[plan.backend] = executed.get(plan.backend, 0) + 1
+        if sized:
+            elapsed = time.perf_counter() - start
+            with self._memo_lock:
+                for name, count in executed.items():
+                    self.backend_executions[name] = (
+                        self.backend_executions.get(name, 0) + count
+                    )
+                self.last_execute_seconds = elapsed
+                self.last_execute_at = time.monotonic()
         return results
 
-    def memo_stats(self) -> dict[str, int]:
-        """Memo counters, JSON-ready (for service stats and tests)."""
+    def memo_stats(self) -> dict[str, object]:
+        """Memo and execution counters, JSON-ready (service stats, tests).
+
+        ``executions`` counts executed instances per *concrete* plan
+        backend — under ``auto`` this is how its measured choices surface
+        in production; ``last_execute_seconds`` is the replay wall time of
+        the most recent :meth:`run` call or :meth:`execute_many` batch.
+        """
         with self._memo_lock:
             return {
                 "entries": len(self._memo),
                 "capacity": self.memo_capacity,
                 "hits": self.memo_hits,
                 "misses": self.memo_misses,
+                "backend": self._backend,
+                "executions": dict(self.backend_executions),
+                "last_execute_seconds": self.last_execute_seconds,
             }
 
     def __len__(self) -> int:

@@ -227,6 +227,10 @@ def execute_variant(
 
     if result is None:  # single-matrix chain: fix-ups do all the work
         result = arrays[0]
+        if not variant.fixups:
+            # Never alias the caller's operand: without a fix-up to
+            # produce a fresh array, hand back a private copy.
+            return result.copy()
     return _apply_fixups(variant, result)
 
 

@@ -23,12 +23,12 @@ size vector and replays it for every later instance with the same sizes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.kernels import reference
+from repro.runtime.backends import Backend, get_backend
 from repro.runtime.executor import (
     KernelCallConfig,
     _stored_lower,
@@ -72,12 +72,19 @@ class ExecutionPlan:
         "sizes",
         "expected_shapes",
         "call_configs",
+        "backend",
+        "step_routines",
         "_ops",
         "_fixups",
         "_num_inputs",
     )
 
-    def __init__(self, variant: Variant, sizes: Sequence[int]):
+    def __init__(
+        self,
+        variant: Variant,
+        sizes: Sequence[int],
+        backend: Union[str, Backend] = "reference",
+    ):
         chain = variant.chain
         q = chain.validate_sizes(sizes)
         self.variant = variant
@@ -99,8 +106,11 @@ class ExecutionPlan:
                 return chain.n + index
             raise ExecutionError(f"unknown buffer reference {ref!r}")
 
+        resolved = get_backend(backend)
+        self.backend: str = resolved.name
         ops: list[PlanOp] = []
         configs: list[KernelCallConfig] = []
+        routines: list[str] = []
         for step in variant.steps:
             cfg = KernelCallConfig(
                 side=step.side,
@@ -110,17 +120,20 @@ class ExecutionPlan:
                 right_lower=_stored_lower(step.right_state),
             )
             configs.append(cfg)
+            # The config is baked into the callable: transposes, sides,
+            # and triangularity resolve at compile time.
+            impl, routine = resolved.specialize(step.kernel.name, cfg)
+            routines.append(routine)
             ops.append(
                 (
-                    # The config is baked into the callable: transposes,
-                    # sides, and triangularity resolve at compile time.
-                    reference.specialize_kernel(step.kernel.name, cfg),
+                    impl,
                     slot(step.left_ref),
                     slot(step.right_ref),
                     chain.n + step.index,
                 )
             )
         self.call_configs: tuple[KernelCallConfig, ...] = tuple(configs)
+        self.step_routines: tuple[str, ...] = tuple(routines)
         self._ops: tuple[PlanOp, ...] = tuple(ops)
         self._fixups = _resolve_fixups(variant)
 
@@ -167,6 +180,10 @@ class ExecutionPlan:
             values[out] = result
         if result is None:  # single-matrix chain: fix-ups do all the work
             result = values[0]
+            if not self._fixups:
+                # Never alias the caller's operand: without a fix-up to
+                # produce a fresh array, hand back a private copy.
+                return result.copy()
         for fixup in self._fixups:
             result = fixup(result)
         return result
@@ -176,20 +193,25 @@ class ExecutionPlan:
     def describe(self) -> str:
         lines = [
             f"execution plan for {self.variant.name or '<anonymous>'} "
-            f"at q={list(self.sizes)}"
+            f"at q={list(self.sizes)} [backend={self.backend}]"
         ]
-        for step, (_, left, right, out), cfg in zip(
-            self.variant.steps, self._ops, self.call_configs
+        for step, (_, left, right, out), cfg, routine in zip(
+            self.variant.steps, self._ops, self.call_configs, self.step_routines
         ):
             lines.append(
                 f"  slot[{out}] := {step.kernel.name}"
                 f"(slot[{left}], slot[{right}], side={cfg.side})"
+                f" -> {routine}"
             )
         for fixup in self._fixups:
             lines.append(f"  finalize: {getattr(fixup, '__name__', 'fixup')}")
         return "\n".join(lines)
 
 
-def compile_plan(variant: Variant, sizes: Sequence[int]) -> ExecutionPlan:
+def compile_plan(
+    variant: Variant,
+    sizes: Sequence[int],
+    backend: Union[str, Backend] = "reference",
+) -> ExecutionPlan:
     """Compile ``(variant, sizes)`` into a replayable :class:`ExecutionPlan`."""
-    return ExecutionPlan(variant, sizes)
+    return ExecutionPlan(variant, sizes, backend=backend)

@@ -11,9 +11,10 @@ Request schema (``id`` is optional and echoed back verbatim):
     ``num_training_instances``, ``size_range``, ``objective``, ``seed``,
     ``simplify``, ``variant_space``, ``max_variants`` — the last two pick
     the candidate-generation strategy, letting clients compile long chains
-    through the DP-seeded space).  Response carries a ``handle`` (the
-    content address of the compilation) plus the selected variant names
-    and symbolic costs.
+    through the DP-seeded space — and ``backend``, the execution-backend
+    strategy ``execute`` runs under: ``"reference"``, ``"blas"``, or
+    ``"auto"``).  Response carries a ``handle`` (the content address of
+    the compilation) plus the selected variant names and symbolic costs.
 
 ``{"op": "dispatch", "handle": "...", "sizes": [500, 80, 500], "id": 2}``
     Run-time dispatch for one instance: answers which variant the
@@ -33,8 +34,11 @@ Request schema (``id`` is optional and echoed back verbatim):
     ``handle`` (compile-if-needed), as for ``dispatch``.
 
 ``{"op": "stats", "id": 3}``
-    Service metrics (queue depth, coalesce rate, latency percentiles) and
-    session cache counters.
+    Service metrics (queue depth, coalesce rate, latency percentiles),
+    session cache counters, and ``execution`` — per-backend executed
+    instance counts aggregated over the live handle registry plus the
+    most recent replay wall time (how ``auto``'s measured backend choices
+    surface in production).
 
 ``{"op": "warm", "id": 4}``
     Re-run cache warm-up from the session's backend; answers the count.

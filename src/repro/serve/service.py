@@ -447,6 +447,26 @@ class CompileService:
         with self._lock:
             registry_entries = len(self._registry)
             inflight = len(self._inflight)
+            dispatchers = [
+                generated.dispatcher for generated in self._registry.values()
+            ]
+        # Aggregate per-backend execution counts over the live registry:
+        # how many instances each concrete backend actually ran (the
+        # observable record of ``auto``'s measured choices), plus the most
+        # recent replay wall time across all handles.
+        executions: dict[str, int] = {}
+        last_execute_seconds: Optional[float] = None
+        last_execute_at: Optional[float] = None
+        for dispatcher in dispatchers:
+            memo = dispatcher.memo_stats()
+            for name, count in memo["executions"].items():
+                executions[name] = executions.get(name, 0) + count
+            stamp = dispatcher.last_execute_at
+            if stamp is not None and (
+                last_execute_at is None or stamp > last_execute_at
+            ):
+                last_execute_at = stamp
+                last_execute_seconds = memo["last_execute_seconds"]
         stats: dict[str, object] = {
             "service": self.metrics.snapshot(),
             "cache": self.session.cache_stats().as_dict(),
@@ -455,6 +475,11 @@ class CompileService:
             "workers_mode": self.workers_mode,
             "inflight": inflight,
             "registry_entries": registry_entries,
+            "execution": {
+                "backend": self.session.options.backend,
+                "executions": executions,
+                "last_execute_seconds": last_execute_seconds,
+            },
         }
         last = self.session.last_context
         if last is not None and (last.timings or last.diagnostics):

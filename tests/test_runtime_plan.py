@@ -61,6 +61,25 @@ class TestPlanExecution:
         [a] = random_instance_arrays(chain, (4, 4), rng)
         np.testing.assert_allclose(plan.execute([a]) @ a, np.eye(4), atol=1e-8)
 
+    def test_single_matrix_chain_never_aliases_input(self):
+        """Regression: a no-op plan must return a copy, not the caller's
+        array — mutating the result used to corrupt the operand."""
+        chain = Chain((make_general("A").as_operand(),))
+        [variant] = all_variants(chain)
+        plan = compile_plan(variant, (3, 3))
+        a = np.arange(9, dtype=np.float64).reshape(3, 3)
+        original = a.copy()
+        result = plan.execute([a])
+        assert result is not a
+        np.testing.assert_array_equal(result, original)
+        result[0, 0] = 1e9
+        np.testing.assert_array_equal(a, original)
+        # Same contract for the interpretive executor.
+        result = execute_variant(variant, [a])
+        assert result is not a
+        result[0, 0] = -1e9
+        np.testing.assert_array_equal(a, original)
+
     def test_plan_records_instance_metadata(self):
         chain = general_chain(3)
         variant = all_variants(chain)[0]
