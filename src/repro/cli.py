@@ -24,7 +24,16 @@ Commands:
   process`` fans compilation out to a process pool and ships artifacts
   back over pipes), request coalescing; stdin/stdout by default, TCP with
   ``--port``; ``--stats`` prints queue depth, coalesce rate, and latency
-  percentiles on exit.
+  percentiles on exit; ``--metrics-port`` additionally serves the
+  process-wide :mod:`repro.obs` registry as a Prometheus ``/metrics``
+  HTTP endpoint.
+* ``stats`` — query a running ``repro serve --port`` instance with one
+  ``{"op": "stats"}`` request and print a human summary of the unified
+  observability snapshot (service counters, cache tiers, pass timings,
+  runtime memo and kernel histograms); ``--json`` dumps the raw response.
+* ``compile``/``run`` accept ``--trace out.jsonl``: enable structured
+  tracing for the command and stream every span (plus a final metrics
+  snapshot) to a JSON-lines file.
 * ``fig5`` — run Experiment A (FLOPs, paper Fig. 5) and print the summary
   statistics and eCDF samples.
 * ``fig6`` — run Experiment B (execution time, paper Fig. 6).
@@ -255,6 +264,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         warm=not args.no_warm,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs import serve_metrics_http
+
+        metrics_server = serve_metrics_http(args.metrics_port, args.host)
+        bound_host, bound_port = metrics_server.server_address[:2]
+        print(
+            f"Prometheus metrics on http://{bound_host}:{bound_port}/metrics",
+            file=sys.stderr,
+        )
     if args.workers_mode == "process":
         service.prestart()
         print("process pool ready", file=sys.stderr)
@@ -280,9 +299,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         service.close()
+        if metrics_server is not None:
+            metrics_server.shutdown()
         if args.stats:
             print(f"service: {service.metrics}", file=sys.stderr)
             print(f"cache: {session.cache_stats()}", file=sys.stderr)
+    return 0
+
+
+def _print_stats_summary(stats: dict) -> None:
+    """Human rendering of a ``{"op": "stats"}`` response."""
+    print(
+        f"protocol v{stats.get('protocol_version')}  "
+        f"workers={stats.get('workers')} ({stats.get('workers_mode')})  "
+        f"inflight={stats.get('inflight')}  "
+        f"registry={stats.get('registry_entries')}"
+    )
+    service = stats.get("service") or {}
+    if service:
+        counters = "  ".join(
+            f"{name}={service[name]}"
+            for name in (
+                "requests",
+                "compiled",
+                "cache_hits",
+                "coalesced",
+                "rejected",
+                "errors",
+            )
+            if name in service
+        )
+        print(f"service: {counters}")
+        print(
+            f"         coalesce_rate={service.get('coalesce_rate')}  "
+            f"queue_depth={service.get('queue_depth')}  "
+            f"p50={service.get('p50_ms')}ms  p99={service.get('p99_ms')}ms"
+        )
+    obs = stats.get("obs") or {}
+    cache_counters = [
+        f"{key}={value}"
+        for key, value in sorted((obs.get("counters") or {}).items())
+        if key.startswith("cache.")
+    ]
+    if cache_counters:
+        print("cache:   " + "  ".join(cache_counters))
+    runtime = (obs.get("scopes") or {}).get("runtime")
+    if runtime:
+        print(
+            f"runtime: dispatchers={runtime.get('dispatchers')}  "
+            f"memo_hits={runtime.get('memo_hits')}  "
+            f"memo_misses={runtime.get('memo_misses')}  "
+            f"memo_evictions={runtime.get('memo_evictions')}  "
+            f"executions={runtime.get('executions')}"
+        )
+    histograms = obs.get("histograms") or {}
+
+    def _section(title: str, prefix: str, scale: float, unit: str) -> None:
+        rows = {
+            key: value
+            for key, value in histograms.items()
+            if key.startswith(prefix)
+        }
+        if not rows:
+            return
+        print(title)
+        for key, hist in sorted(rows.items()):
+            label = key.split("{", 1)[-1].rstrip("}") if "{" in key else key
+            print(
+                f"  {label:<40} p50={scale * hist['p50']:10.3f} {unit}  "
+                f"(n={hist['count']})"
+            )
+
+    _section("pass timings:", "compiler.pass_seconds", 1e3, "ms")
+    _section("execution:", "runtime.execute_seconds", 1e6, "us")
+    _section("kernels:", "runtime.kernel_seconds", 1e6, "us")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    import socket
+
+    payload = json.dumps({"op": "stats", "id": 0}) + "\n"
+    try:
+        with socket.create_connection(
+            (args.host, args.port), timeout=args.timeout
+        ) as conn:
+            conn.sendall(payload.encode("utf-8"))
+            with conn.makefile("r", encoding="utf-8") as reader:
+                line = reader.readline()
+    except OSError as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not line.strip():
+        print("error: empty response from server", file=sys.stderr)
+        return 2
+    response = json.loads(line)
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    _print_stats_summary(response)
     return 0
 
 
@@ -457,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats", action="store_true", help="print compilation-cache stats"
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="enable structured tracing and write spans (plus a final "
+        "metrics snapshot) to this JSON-lines file",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser(
@@ -487,6 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         "scipy.linalg.blas/lapack lowering), or auto (micro-benchmark "
         "both per size vector, run the measured winner); default: the "
         "backend recorded in the artifact",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="enable structured tracing and write spans (plus a final "
+        "metrics snapshot) to this JSON-lines file",
     )
     p.set_defaults(func=_cmd_run)
 
@@ -569,7 +704,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print service metrics and cache stats to stderr on exit",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve the process-wide metrics registry as Prometheus text "
+        "on this HTTP port (/metrics; 0 picks a free port)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="query a running `repro serve --port` instance and print a "
+        "human summary of its unified observability snapshot",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server TCP port")
+    p.add_argument(
+        "--timeout", type=float, default=10.0, help="connect/read timeout (s)"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("fig5", help="Experiment A: FLOPs (Fig. 5)")
     p.add_argument("--n", type=int, nargs="+", default=[5, 6, 7])
@@ -618,6 +775,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import tracing_to
+
+        with tracing_to(trace_path):
+            status = args.func(args)
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+        return status
     return args.func(args)
 
 

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.errors import CompilationError
 from repro.ir.chain import Chain
+from repro.obs import get_registry
+from repro.obs import trace as obs_trace
 from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
 from repro.compiler.expansion import AveragePenalty, MaxPenalty, expand_set
 from repro.compiler.program import CompiledProgram
@@ -523,21 +525,36 @@ class Pipeline:
         having pre-populated the skipped passes' artifacts on the context.
         """
         skip = set(skip)
+        registry = get_registry()
         for compiler_pass in self.passes:
             if compiler_pass.name in skip:
                 ctx.skipped.append(compiler_pass.name)
                 if self.observer is not None:
                     self.observer(compiler_pass, ctx, None)
                 continue
-            start = time.perf_counter()
-            compiler_pass.run(ctx)
-            elapsed = time.perf_counter() - start
+            with obs_trace.span(f"compile.pass.{compiler_pass.name}") as pass_span:
+                start = time.perf_counter()
+                compiler_pass.run(ctx)
+                elapsed = time.perf_counter() - start
+                pass_span.annotate(elapsed=elapsed)
             ctx.executed.append(compiler_pass.name)
             ctx.timings[compiler_pass.name] = (
                 ctx.timings.get(compiler_pass.name, 0.0) + elapsed
             )
+            registry.histogram(
+                "compiler.pass_seconds", stage=compiler_pass.name
+            ).observe(elapsed)
             if self.observer is not None:
                 self.observer(compiler_pass, ctx, elapsed)
+        pool = ctx.diagnostics.get("variant_pool")
+        if pool:
+            # The variant-pool diagnostics double as registry state so one
+            # ``stats`` call sees what the enumerate stage decided.
+            strategy = str(pool.get("strategy", "unknown"))
+            registry.counter("compiler.variant_pools", strategy=strategy).inc()
+            registry.histogram("compiler.pool_size", strategy=strategy).observe(
+                pool.get("pool_size", 0)
+            )
         return ctx
 
     def cacheable_names(self) -> tuple[str, ...]:

@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 import numpy as np
 
 from repro.ir.chain import Chain
+from repro.obs import trace as obs_trace
 from repro.compiler.cache import CacheEntry, CacheStats, CompilationCache, rebind_variants
 from repro.compiler.dispatch import CostEstimator, flop_estimator
 from repro.compiler.pipeline import (
@@ -176,10 +177,14 @@ class CompilerSession:
         ``objective``, ``seed``, ``simplify``, ``variant_space``,
         ``max_variants``).
         """
-        ctx, key = self._prepare(
-            chain, training_instances, cost_estimator, overrides
-        )
-        return self._finish(ctx, key, use_cache)
+        with obs_trace.span("compile") as compile_span:
+            ctx, key = self._prepare(
+                chain, training_instances, cost_estimator, overrides
+            )
+            compile_span.annotate(cache_key=key)
+            result = self._finish(ctx, key, use_cache)
+            compile_span.annotate(cache_hit=ctx.cache_hit)
+            return result
 
     def prepare(
         self,

@@ -1,0 +1,69 @@
+"""repro.obs — the unified observability layer.
+
+One import surface for the three pillars:
+
+* :mod:`repro.obs.registry` — the process-wide metrics registry
+  (counters, gauges, bounded-window histograms) that compile, serve, and
+  runtime all report into; :func:`get_registry` is the entry point.
+* :mod:`repro.obs.trace` — structured spans with trace/span IDs, nested
+  through :mod:`contextvars` and propagated across the procpool process
+  boundary; near-zero cost while disabled.
+* :mod:`repro.obs.export` — JSON-lines file export for spans/metrics and
+  a Prometheus-text renderer + stdlib HTTP scrape endpoint.
+
+See the README "Observability" section for the end-to-end picture.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    percentile,
+)
+from .trace import (
+    Span,
+    annotate,
+    capture,
+    continue_trace,
+    current_context,
+    current_span,
+    ingest,
+    span,
+    traced,
+)
+from .export import (
+    JsonLinesExporter,
+    read_trace_file,
+    render_prometheus,
+    serve_metrics_http,
+    tracing_to,
+)
+from . import trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "Span",
+    "annotate",
+    "capture",
+    "continue_trace",
+    "current_context",
+    "current_span",
+    "get_registry",
+    "ingest",
+    "metric_key",
+    "percentile",
+    "read_trace_file",
+    "render_prometheus",
+    "serve_metrics_http",
+    "span",
+    "trace",
+    "traced",
+    "tracing_to",
+]

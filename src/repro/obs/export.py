@@ -1,0 +1,262 @@
+"""Exporters: JSON-lines span/metrics files and Prometheus text.
+
+Two consumption paths for the registry/trace data:
+
+* **Files** — :class:`JsonLinesExporter` appends one JSON object per
+  finished span (it registers itself as a trace sink) and can stamp
+  registry snapshots into the same stream; :func:`read_trace_file` reads
+  either back.  ``repro compile|run --trace out.jsonl`` is a thin wrapper
+  over :func:`tracing_to`.
+* **Scrape** — :func:`render_prometheus` turns a registry snapshot into
+  Prometheus text exposition format (counters and gauges as-is,
+  histograms as summaries with quantile labels plus ``_sum``/``_count``;
+  numeric leaves of collector scopes flattened under a ``scope`` label),
+  and :func:`serve_metrics_http` mounts it on a stdlib HTTP server for
+  ``repro serve --metrics-port``.
+
+No third-party dependencies: the wire formats are plain text and JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from . import trace
+from .registry import MetricsRegistry, get_registry
+from .trace import Span
+
+__all__ = [
+    "JsonLinesExporter",
+    "read_trace_file",
+    "render_prometheus",
+    "serve_metrics_http",
+    "tracing_to",
+]
+
+
+class JsonLinesExporter:
+    """Append spans (and optional metrics snapshots) to a JSON-lines file.
+
+    Each line is one object tagged with ``"kind"``: spans are
+    ``{"kind": "span", ...Span.to_dict()}``, snapshots are
+    ``{"kind": "metrics", "time": ..., "snapshot": {...}}``.  Writes are
+    serialized by a lock and flushed per line, so the file is valid after
+    a crash mid-run.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._closed = False
+
+    def export_span(self, finished: Span) -> None:
+        self._write({"kind": "span", **finished.to_dict()})
+
+    def export_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else get_registry()
+        self._write(
+            {"kind": "metrics", "time": time.time(), "snapshot": registry.snapshot()}
+        )
+
+    def _write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def install(self) -> "JsonLinesExporter":
+        """Register as a trace sink so every finished span is written."""
+        trace.add_sink(self.export_span)
+        return self
+
+    def close(self) -> None:
+        trace.remove_sink(self.export_span)
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._fh.close()
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_trace_file(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Parse a JSON-lines export back into records (blank lines skipped)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+@contextmanager
+def tracing_to(path: Union[str, Path]) -> Iterator[JsonLinesExporter]:
+    """Enable tracing and stream spans to ``path`` for the block's duration.
+
+    Restores the previous enabled state on exit and stamps one final
+    metrics snapshot into the file, so a ``--trace`` run captures both
+    the spans and the end-state counters.
+    """
+    was_enabled = trace.enabled()
+    exporter = JsonLinesExporter(path).install()
+    trace.enable()
+    try:
+        yield exporter
+    finally:
+        if not was_enabled:
+            trace.disable()
+        exporter.export_metrics()
+        exporter.close()
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _prom_name(raw: str) -> str:
+    """Sanitize to a Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*."""
+    out = []
+    for i, ch in enumerate(raw):
+        if ch.isalnum() or ch in "_:":
+            out.append(ch)
+        else:
+            out.append("_")
+    name = "".join(out)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name or "_"
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(key)}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert ``metric_key``: ``name{k=v,...}`` -> (name, labels)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for pair in rest[:-1].split(","):
+        if "=" in pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+def _flatten_numeric(prefix: str, value: Any, out: list[tuple[str, float]]) -> None:
+    """Collect numeric leaves of a nested dict as (dotted.path, value)."""
+    if isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+    elif isinstance(value, dict):
+        for key, inner in value.items():
+            child = f"{prefix}.{key}" if prefix else str(key)
+            _flatten_numeric(child, inner, out)
+
+
+def render_prometheus(
+    snapshot: Optional[dict[str, Any]] = None, prefix: str = "repro"
+) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms become summaries
+    (quantile-labelled samples plus ``_sum`` and ``_count``).  Collector
+    scopes are walked for numeric leaves, exported as gauges named after
+    the dotted path with a ``scope`` label — approximate but complete,
+    so a scrape sees everything ``stats`` sees.
+    """
+    if snapshot is None:
+        snapshot = get_registry().snapshot()
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit(name: str, kind: str, labels: dict[str, str], value: float) -> None:
+        full = f"{prefix}_{_prom_name(name)}" if prefix else _prom_name(name)
+        if full not in typed:
+            lines.append(f"# TYPE {full} {kind}")
+            typed.add(full)
+        lines.append(f"{full}{_prom_labels(labels)} {value}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_key(key)
+        emit(name, "counter", labels, float(value))
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_key(key)
+        emit(name, "gauge", labels, float(value))
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _split_key(key)
+        base = f"{prefix}_{_prom_name(name)}" if prefix else _prom_name(name)
+        if base not in typed:
+            lines.append(f"# TYPE {base} summary")
+            typed.add(base)
+        for q_label, q_key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            q_labels = dict(labels, quantile=q_label)
+            lines.append(f"{base}{_prom_labels(q_labels)} {hist.get(q_key, 0.0)}")
+        lines.append(f"{base}_sum{_prom_labels(labels)} {hist.get('sum', 0.0)}")
+        lines.append(f"{base}_count{_prom_labels(labels)} {hist.get('count', 0)}")
+    for scope, data in snapshot.get("scopes", {}).items():
+        leaves: list[tuple[str, float]] = []
+        _flatten_numeric("", data, leaves)
+        for path, value in leaves:
+            emit(path, "gauge", {"scope": scope}, value)
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: Optional[MetricsRegistry] = None
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404)
+            return
+        registry = self.registry if self.registry is not None else get_registry()
+        body = render_prometheus(registry.snapshot()).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # silence per-scrape stderr noise
+        pass
+
+
+def serve_metrics_http(
+    port: int,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+) -> ThreadingHTTPServer:
+    """Start a daemon-threaded Prometheus scrape endpoint at ``/metrics``.
+
+    Returns the running server (``server.server_address`` has the bound
+    port when ``port=0``); call ``server.shutdown()`` to stop it.
+    """
+    handler = type("_BoundMetricsHandler", (_MetricsHandler,), {"registry": registry})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,376 @@
+"""Structured tracing: spans with trace/span IDs and a context-local stack.
+
+A *span* is a named, timed region of work with a trace identity: every
+span carries a ``trace_id`` shared by all work done on behalf of the same
+top-level request, a unique ``span_id``, and its ``parent_id``.  Spans
+nest through :mod:`contextvars` — ``span("serve.request")`` inside
+``span("frontend")`` becomes a child automatically — and survive process
+hops: the serve layer sends :func:`current_context` (two IDs) across the
+procpool JSON boundary and the worker re-roots under it with
+:func:`continue_trace`, so a worker compile appears as a child span in
+the parent's trace.
+
+Tracing is **off by default** and must cost nearly nothing when off:
+:func:`span` checks the module-level ``_enabled`` flag before allocating
+anything and returns a shared no-op context manager, so a disabled trace
+point is one global read and one ``is not True`` branch.  Enable with
+:func:`enable` (or ``repro ... --trace out.jsonl``).
+
+Finished spans go to a bounded in-memory buffer (for :func:`drain`) and
+to any registered sinks (:func:`add_sink`, used by the JSON-lines
+exporter).  :func:`capture` collects spans of a region into a list —
+procpool workers use it to ship their spans home, where the parent calls
+:func:`ingest` to re-emit them into its own buffer and sinks.
+
+Span IDs must be cheap (a traced dispatch mints one per request), so they
+are a per-process random prefix plus an atomic counter — unique across
+the worker pool without uuid4's ~µs cost.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "add_sink",
+    "annotate",
+    "capture",
+    "continue_trace",
+    "current_context",
+    "current_span",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "ingest",
+    "leaf_span",
+    "remove_sink",
+    "span",
+    "traced",
+]
+
+#: Tracing master switch.  Read (not mutated) on every hot-path trace
+#: point; flip it only through enable()/disable().
+_enabled = False
+
+#: Bounded buffer of finished spans, drained by drain()/the stats paths.
+_BUFFER_LIMIT = 4096
+_buffer: deque[Span] = deque(maxlen=_BUFFER_LIMIT)
+_buffer_lock = threading.Lock()
+
+#: Sinks receive every finished span (exporters, capture lists).
+_sinks: list[Callable[["Span"], None]] = []
+_sinks_lock = threading.Lock()
+
+_active: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+# Process-unique ID minting: 8 hex chars of boot entropy + pid-derived
+# salt, then an atomic counter.  itertools.count().__next__ is atomic
+# under the GIL.
+_id_prefix = f"{int.from_bytes(os.urandom(4), 'big') ^ (os.getpid() << 8):08x}"
+_id_counter = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{_id_prefix}-{next(_id_counter):x}"
+
+
+@dataclass(slots=True)
+class Span:
+    """One named, timed region of work within a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start: float = 0.0
+    duration: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    # default_factory, not a module-level constant: fork-mode procpool
+    # workers inherit this module already imported, so a baked-in pid
+    # would stamp the parent's pid on worker spans.
+    process: int = field(default_factory=os.getpid)
+    _token: Any = field(default=None, repr=False, compare=False)
+    _t0: float = field(default=0.0, repr=False, compare=False)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._token = _active.set(self)
+        self._t0 = time.perf_counter()
+        self.start = time.time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _active.reset(self._token)
+        _emit(self)
+        return False
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attributes.update(attrs)
+        return self
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+            "status": self.status,
+            "process": self.process,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data.get("start", 0.0),
+            duration=data.get("duration", 0.0),
+            attributes=dict(data.get("attributes", {})),
+            status=data.get("status", "ok"),
+            process=data.get("process", 0),
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing context manager returned when tracing is off.
+
+    annotate() is accepted and dropped so call sites need no enabled
+    checks of their own.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL = _NullSpan()
+
+
+def _emit(finished: Span) -> None:
+    with _buffer_lock:
+        _buffer.append(finished)
+    if not _sinks:  # unlocked peek: the common no-exporter case pays nothing
+        return
+    with _sinks_lock:
+        sinks = list(_sinks)
+    for sink in sinks:
+        try:
+            sink(finished)
+        except Exception:
+            pass  # a broken exporter must not break the traced work
+
+
+# -- public API --------------------------------------------------------------
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span as a context manager; a shared no-op when disabled.
+
+    The disabled path allocates nothing: one global read, return the
+    module-level null span.
+    """
+    if not _enabled:
+        return _NULL
+    parent = _active.get()
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = _new_id(), None
+    return Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=_new_id(),
+        parent_id=parent_id,
+        attributes=attrs,
+    )
+
+
+def traced(name: Optional[str] = None):
+    """Decorator form of :func:`span`; span name defaults to the function's
+    qualified name."""
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def leaf_span(
+    name: str,
+    start: float,
+    duration: float,
+    status: str = "ok",
+    **attrs: Any,
+) -> Optional[Span]:
+    """Emit an already-finished span that had no children (hot paths).
+
+    ``span()`` pays its bookkeeping on both sides of the traced work:
+    allocation and contextvar publication before, emission after — and on
+    a hot path whose work evicts the cache (a BLAS kernel sequence), both
+    sides run cold.  A *leaf* span needs none of the up-front half: it
+    parents no children, so nothing reads it from the context.  Callers
+    time the work themselves (``start`` from ``time.time()``, ``duration``
+    in seconds) and this constructs and emits the finished span in one
+    post-hoc, cache-coherent cluster.  No-op returning ``None`` when
+    tracing is disabled.
+    """
+    if not _enabled:
+        return None
+    parent = _active.get()
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = _new_id(), None
+    finished = Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=_new_id(),
+        parent_id=parent_id,
+        start=start,
+        duration=duration,
+        attributes=attrs,
+        status=status,
+    )
+    _emit(finished)
+    return finished
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span in this context, if any."""
+    return _active.get()
+
+
+def current_context() -> Optional[dict[str, str]]:
+    """The active trace identity as a JSON-clean dict, for crossing process
+    boundaries; ``None`` when no span is open."""
+    active = _active.get()
+    if active is None:
+        return None
+    return {"trace_id": active.trace_id, "span_id": active.span_id}
+
+
+@contextmanager
+def continue_trace(context: Optional[dict[str, str]]) -> Iterator[None]:
+    """Adopt a trace identity received from another process.
+
+    Spans opened inside become children of the remote span described by
+    ``context`` (``{"trace_id", "span_id"}``).  A None/empty context is a
+    no-op, as is tracing being disabled.
+    """
+    if not _enabled or not context:
+        yield
+        return
+    remote = Span(
+        name="<remote-parent>",
+        trace_id=context["trace_id"],
+        span_id=context["span_id"],
+    )
+    token = _active.set(remote)
+    try:
+        yield
+    finally:
+        _active.reset(token)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the active span; silently ignored when none."""
+    active = _active.get()
+    if active is not None:
+        active.attributes.update(attrs)
+
+
+def add_sink(sink: Callable[[Span], None]) -> None:
+    with _sinks_lock:
+        _sinks.append(sink)
+
+
+def remove_sink(sink: Callable[[Span], None]) -> None:
+    with _sinks_lock:
+        try:
+            _sinks.remove(sink)
+        except ValueError:
+            pass
+
+
+@contextmanager
+def capture() -> Iterator[list[Span]]:
+    """Collect every span finished inside the block into the yielded list."""
+    collected: list[Span] = []
+    add_sink(collected.append)
+    try:
+        yield collected
+    finally:
+        remove_sink(collected.append)
+
+
+def ingest(spans: list[dict[str, Any]]) -> list[Span]:
+    """Re-emit serialized spans (e.g. shipped back from a procpool worker)
+    into this process's buffer and sinks; returns the revived spans."""
+    revived = [Span.from_dict(data) for data in spans]
+    for item in revived:
+        _emit(item)
+    return revived
+
+
+def drain() -> list[Span]:
+    """Remove and return every buffered finished span."""
+    with _buffer_lock:
+        spans = list(_buffer)
+        _buffer.clear()
+    return spans

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
 
@@ -41,6 +42,8 @@ import numpy as np
 
 from repro.errors import DispatchError
 from repro.ir.chain import Chain
+from repro.obs import get_registry
+from repro.obs import trace as obs_trace
 from repro.runtime.backends import BACKEND_NAMES, FALLBACK_ROUTINE
 from repro.runtime.executor import SizeInferencer, random_instance_arrays
 from repro.runtime.plan import ExecutionPlan, compile_plan
@@ -63,6 +66,49 @@ def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
     return variant.flop_cost(sizes)
 
 
+#: Live dispatchers, aggregated by the process-wide ``runtime`` collector.
+_DISPATCHERS: "weakref.WeakSet[Dispatcher]" = weakref.WeakSet()
+_DISPATCHERS_LOCK = threading.Lock()
+
+
+def runtime_snapshot() -> dict[str, object]:
+    """Aggregate memo/execution state across every live dispatcher.
+
+    Mounted on the global registry as the ``runtime`` collector scope, so
+    one ``stats`` call sees hit rates and per-backend execution counts for
+    the whole process without enumerating dispatchers by hand.
+    """
+    with _DISPATCHERS_LOCK:
+        dispatchers = list(_DISPATCHERS)
+    agg: dict[str, object] = {
+        "dispatchers": len(dispatchers),
+        "memo_entries": 0,
+        "memo_hits": 0,
+        "memo_misses": 0,
+        "memo_evictions": 0,
+        "executions": {},
+        "last_execute_seconds": None,
+    }
+    executions: dict[str, int] = agg["executions"]  # type: ignore[assignment]
+    latest = -1.0
+    for dispatcher in dispatchers:
+        stats = dispatcher.memo_stats()
+        agg["memo_entries"] += stats["entries"]
+        agg["memo_hits"] += stats["hits"]
+        agg["memo_misses"] += stats["misses"]
+        agg["memo_evictions"] += stats["evictions"]
+        for name, count in stats["executions"].items():
+            executions[name] = executions.get(name, 0) + count
+        stamp = dispatcher.last_execute_at
+        if stamp is not None and stamp > latest:
+            latest = stamp
+            agg["last_execute_seconds"] = stats["last_execute_seconds"]
+    return agg
+
+
+get_registry().register_collector("runtime", runtime_snapshot)
+
+
 class DispatchOutcome(NamedTuple):
     """Everything one dispatched execution produced (see :meth:`Dispatcher.run`)."""
 
@@ -79,7 +125,7 @@ class _MemoEntry:
     pool), so a stale entry can never index out of a reassigned list.
     """
 
-    __slots__ = ("variant", "cost", "plan", "backend", "bench")
+    __slots__ = ("variant", "cost", "plan", "backend", "bench", "kernel_hists")
 
     def __init__(
         self, variant: "Variant", cost: float, plan: Optional[ExecutionPlan]
@@ -91,6 +137,9 @@ class _MemoEntry:
         self.backend: Optional[str] = None
         #: ``auto`` only: measured seconds per backend for this entry.
         self.bench: Optional[dict[str, float]] = None
+        #: Traced-replay observers (one Histogram.observe per plan step),
+        #: built lazily on the first traced execution of the plan.
+        self.kernel_hists: Optional[tuple[Callable[[float], None], ...]] = None
 
 
 class Dispatcher:
@@ -128,6 +177,7 @@ class Dispatcher:
         self._infer = SizeInferencer(chain)
         self.memo_hits = 0  #: dispatch decisions answered from the memo
         self.memo_misses = 0  #: dispatch decisions that paid a cost sweep
+        self.memo_evictions = 0  #: memo entries dropped by the LRU bound
         #: executed instances per concrete plan backend (observability for
         #: the ``auto`` strategy; see :meth:`memo_stats`)
         self.backend_executions: dict[str, int] = {}
@@ -143,6 +193,12 @@ class Dispatcher:
         self.variants = list(variants)  # via the setter: resets the caches
         self._cost_estimator = cost_estimator
         self._backend = self._validate_backend(backend)
+        #: Per-backend execute-time Histogram cache: the registry lookup
+        #: (string formatting + dict get under a lock) is too slow for the
+        #: per-call hot path, the bound observe() is not.
+        self._exec_hists: dict[str, Callable[[float], None]] = {}
+        with _DISPATCHERS_LOCK:
+            _DISPATCHERS.add(self)
 
     # -- pool and estimator bookkeeping --------------------------------------
 
@@ -197,6 +253,7 @@ class Dispatcher:
                 entry.plan = None
                 entry.backend = None
                 entry.bench = None
+                entry.kernel_hists = None
 
     def _invalidate(self) -> None:
         with self._memo_lock:
@@ -361,6 +418,7 @@ class Dispatcher:
             self._memo[q] = entry
             while len(self._memo) > self.memo_capacity:
                 self._memo.popitem(last=False)
+                self.memo_evictions += 1
 
     def _select_entry(self, q: tuple[int, ...]) -> _MemoEntry:
         """The memoized dispatch decision for a validated size vector."""
@@ -467,25 +525,104 @@ class Dispatcher:
 
     # -- execution ------------------------------------------------------------
 
+    def _kernel_observers(
+        self, entry: _MemoEntry, plan: ExecutionPlan
+    ) -> tuple[Callable[[float], None], ...]:
+        """The entry's per-step histogram observers, built on first traced
+        replay and cached on the memo entry (invalidated with the plan)."""
+        observers = entry.kernel_hists
+        if observers is None:
+            registry = get_registry()
+            observers = tuple(
+                registry.histogram(
+                    "runtime.kernel_seconds",
+                    kernel=step.kernel.name,
+                    routine=routine,
+                ).observe
+                for step, routine in zip(
+                    plan.variant.steps, plan.step_routines
+                )
+            )
+            entry.kernel_hists = observers
+        return observers
+
+    def _observe_execution(self, backend: str, elapsed: float) -> None:
+        """Feed the always-on per-backend execute-time histogram.
+
+        One dict get + one bound observe per call (the raw material for
+        the feedback-directed cost model), cheap enough to stay on even
+        with tracing off.
+        """
+        observe = self._exec_hists.get(backend)
+        if observe is None:
+            observe = get_registry().histogram(
+                "runtime.execute_seconds", backend=backend
+            ).observe
+            self._exec_hists[backend] = observe
+        observe(elapsed)
+
     def run(self, arrays: Sequence[np.ndarray]) -> DispatchOutcome:
         """Dispatch and execute one instance; returns the full outcome.
 
         Sizes are inferred (and thereby validated) exactly once; the
         memoized plan replays without re-inferring or re-checking shapes.
+        With tracing enabled, the replay additionally times every kernel
+        call into per-``(kernel, routine)`` histograms and emits a
+        ``runtime.run`` span; disabled, the only extra work over the plain
+        replay is one histogram observe of the already-measured elapsed.
         """
         values = [np.asarray(a, dtype=np.float64) for a in arrays]
         sizes = self._infer.infer(values)
-        variant, cost, plan = self.plan_for(sizes, validate=False)
-        start = time.perf_counter()
-        result = plan.replay(values)
-        elapsed = time.perf_counter() - start
+        entry = self._select_entry(sizes)
+        plan = self._entry_plan(entry, sizes)
+        if not obs_trace._enabled:  # module flag: zero-allocation fast path
+            start = time.perf_counter()
+            result = plan.replay(values)
+            elapsed = time.perf_counter() - start
+        else:
+            # Traced path: the plan records raw per-step durations (one
+            # C-level append between kernels), then the histogram feeds
+            # and the runtime.run span are all emitted post-hoc in one
+            # cache-coherent cluster — a `with span(...)` here would pay
+            # its bookkeeping cold on both sides of the kernel sequence.
+            durations: list[float] = []
+            started_at = time.time()
+            start = time.perf_counter()
+            try:
+                result = plan.replay_timed(values, durations.append)
+            except BaseException as exc:
+                obs_trace.leaf_span(
+                    "runtime.run",
+                    started_at,
+                    time.perf_counter() - start,
+                    status="error",
+                    backend=plan.backend,
+                    sizes=list(sizes),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            elapsed = time.perf_counter() - start
+            for observe, seconds in zip(
+                self._kernel_observers(entry, plan), durations
+            ):
+                observe(seconds)
+            obs_trace.leaf_span(
+                "runtime.run",
+                started_at,
+                elapsed,
+                backend=plan.backend,
+                sizes=list(sizes),
+                variant=entry.variant.name,
+                elapsed=elapsed,
+            )
         with self._memo_lock:
             self.backend_executions[plan.backend] = (
                 self.backend_executions.get(plan.backend, 0) + 1
             )
             self.last_execute_seconds = elapsed
             self.last_execute_at = time.monotonic()
-        return DispatchOutcome(sizes, variant, cost, result)
+        self._observe_execution(plan.backend, elapsed)
+        return DispatchOutcome(sizes, entry.variant, entry.cost, result)
 
     def __call__(self, *arrays: np.ndarray) -> np.ndarray:
         """Evaluate the chain: infer sizes, pick the best variant, run it."""
@@ -543,6 +680,7 @@ class Dispatcher:
                                     self._memo[q] = entry
                             while len(self._memo) > self.memo_capacity:
                                 self._memo.popitem(last=False)
+                                self.memo_evictions += 1
         results = []
         executed: dict[str, int] = {}
         start = time.perf_counter()
@@ -566,6 +704,9 @@ class Dispatcher:
                     )
                 self.last_execute_seconds = elapsed
                 self.last_execute_at = time.monotonic()
+            get_registry().histogram(
+                "runtime.batch_seconds", backend=self._backend
+            ).observe(elapsed)
         return results
 
     def memo_stats(self) -> dict[str, object]:
@@ -582,6 +723,7 @@ class Dispatcher:
                 "capacity": self.memo_capacity,
                 "hits": self.memo_hits,
                 "misses": self.memo_misses,
+                "evictions": self.memo_evictions,
                 "backend": self._backend,
                 "executions": dict(self.backend_executions),
                 "last_execute_seconds": self.last_execute_seconds,

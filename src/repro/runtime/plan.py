@@ -23,6 +23,7 @@ size vector and replays it for every later instance with the same sizes.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -183,6 +184,38 @@ class ExecutionPlan:
             if not self._fixups:
                 # Never alias the caller's operand: without a fix-up to
                 # produce a fresh array, hand back a private copy.
+                return result.copy()
+        for fixup in self._fixups:
+            result = fixup(result)
+        return result
+
+    def replay_timed(
+        self,
+        values: list[np.ndarray],
+        record: Callable[[float], None],
+    ) -> np.ndarray:
+        """:meth:`replay` with per-step kernel timing reported to ``record``.
+
+        ``record`` receives one elapsed-seconds value per step, in step
+        order — typically a plain ``list.append``, so the loop's only
+        addition over :meth:`replay` is two clock reads and one C-level
+        append per kernel call.  The caller feeds the recorded durations
+        to its per-kernel histograms *after* the replay: batched observes
+        run back-to-back cache-warm instead of paying a cache-cold
+        histogram update between kernel calls.  This is the *traced*
+        replay path — the dispatcher only takes it while tracing is
+        enabled, so the plain :meth:`replay` loop stays clock-free.
+        """
+        values.extend([None] * len(self._ops))
+        result: Optional[np.ndarray] = None
+        for impl, left, right, out in self._ops:
+            t0 = time.perf_counter()
+            result = impl(values[left], values[right])
+            record(time.perf_counter() - t0)
+            values[out] = result
+        if result is None:  # single-matrix chain: fix-ups do all the work
+            result = values[0]
+            if not self._fixups:
                 return result.copy()
         for fixup in self._fixups:
             result = fixup(result)

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Protocol, runtime_checkable
 
 from repro.compiler.cache import CacheEntry, DiskCache, keys_by_recency
+from repro.obs import get_registry
 
 __all__ = [
     "CacheBackend",
@@ -97,15 +98,23 @@ class InMemoryBackend:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-            return entry
+        outcome = "hit" if entry is not None else "miss"
+        get_registry().counter("cache.lookups", tier="memory", outcome=outcome).inc()
+        return entry
 
     def store(self, key: str, entry: CacheEntry) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        registry = get_registry()
+        registry.counter("cache.stores", tier="memory").inc()
+        if evicted:
+            registry.counter("cache.evictions", tier="memory").inc(evicted)
 
     def keys(self) -> list[str]:
         with self._lock:
@@ -207,12 +216,24 @@ class DiskBackend(DiskCache):
                 os.utime(self.path_for(key))
             except OSError:
                 pass
+        outcome = "hit" if entry is not None else "miss"
+        get_registry().counter("cache.lookups", tier="disk", outcome=outcome).inc()
         return entry
 
     def store(self, key: str, entry: CacheEntry) -> None:
         with self._interprocess_lock():
             super().store(key, entry)
-            self._prune(protect=key)
+            pruned = self._prune(protect=key)
+        registry = get_registry()
+        registry.counter("cache.stores", tier="disk").inc()
+        try:
+            written = self.path_for(key).stat().st_size
+        except OSError:
+            written = 0
+        if written:
+            registry.counter("cache.bytes_written", tier="disk").inc(written)
+        if pruned:
+            registry.counter("cache.evictions", tier="disk").inc(pruned)
 
     def clear(self) -> int:
         with self._interprocess_lock():
@@ -293,6 +314,8 @@ class TieredBackend:
         for level, tier in enumerate(self.tiers):
             entry = tier.load(key)
             if entry is not None:
+                if level > 0:
+                    get_registry().counter("cache.promotions", tier="tiered").inc()
                 for faster in self.tiers[:level]:
                     faster.store(key, entry)
                 return entry

@@ -40,6 +40,11 @@ Request schema (``id`` is optional and echoed back verbatim):
     most recent replay wall time (how ``auto``'s measured backend choices
     surface in production).
 
+``{"op": "metrics", "id": 6}``
+    The process-wide :mod:`repro.obs` registry rendered as Prometheus
+    text exposition format (the same body ``repro serve --metrics-port``
+    serves over HTTP), returned as the ``"text"`` field.
+
 ``{"op": "warm", "id": 4}``
     Re-run cache warm-up from the session's backend; answers the count.
 
@@ -67,8 +72,10 @@ import numpy as np
 from repro.serve.service import CompileService
 
 #: Protocol revision, reported by ``stats`` responses.  2 added the
-#: wire-level ``execute`` op (handle + npy/base64 arrays).
-PROTOCOL_VERSION = 2
+#: wire-level ``execute`` op (handle + npy/base64 arrays); 3 added the
+#: ``metrics`` op (Prometheus text) and the unified ``obs`` snapshot in
+#: ``stats``.
+PROTOCOL_VERSION = 3
 
 
 # -- array codec (the execute op's payload format) ---------------------------
@@ -255,6 +262,10 @@ def handle_request(service: CompileService, payload: dict) -> dict:
                 "protocol_version": PROTOCOL_VERSION,
                 **service.stats(),
             }
+        elif op == "metrics":
+            from repro.obs import render_prometheus
+
+            response = {"ok": True, "text": render_prometheus()}
         elif op == "warm":
             response = {"ok": True, "warmed": service.session.warm()}
         elif op == "ping":
@@ -263,7 +274,7 @@ def handle_request(service: CompileService, payload: dict) -> dict:
             return _error(
                 payload_id,
                 f"unknown op {op!r}; expected "
-                "compile|dispatch|execute|stats|warm|ping",
+                "compile|dispatch|execute|stats|metrics|warm|ping",
             )
     except KeyError as exc:
         return _error(payload_id, str(exc.args[0]) if exc.args else str(exc), exc)

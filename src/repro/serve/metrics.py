@@ -1,33 +1,29 @@
 """Service counters: queue depth, coalesce rate, compile-latency percentiles.
 
 The :class:`~repro.serve.service.CompileService` records one latency sample
-per finished request (submit-to-result wall time) into a bounded sliding
-window, alongside monotonic counters for the request outcomes.  Everything
-is guarded by one lock and snapshotted as a plain dict, so the JSON-lines
-front end (``{"op": "stats"}``), ``repro serve --stats``, and the
-throughput benchmark all read the same numbers.
+per finished request (submit-to-result wall time) alongside monotonic
+counters for the request outcomes.  Since the ``repro.obs`` layer, the
+storage is a private :class:`~repro.obs.MetricsRegistry` per service —
+counters, a queue-depth gauge, and a bounded latency histogram — mounted
+into the process-wide registry as a ``serve`` collector scope, so the
+global ``stats``/Prometheus snapshot sees every live service while this
+class keeps its zero-based, per-service public API: the same attributes
+(``requests``, ``coalesced``, ...), the same :meth:`snapshot` keys, and
+the same ``__str__`` as before the migration.  The JSON-lines front end
+(``{"op": "stats"}``), ``repro serve --stats``, and the throughput
+benchmark all read the same numbers unchanged.
+
+``percentile`` lives in :mod:`repro.obs.registry` now (with the
+nearest-rank fix) and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
 from typing import Callable, Optional
 
+from repro.obs import MetricsRegistry, get_registry, percentile
 
-def percentile(samples: list[float], p: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100]).
-
-    Returns 0.0 for an empty sample set — the stats endpoint must answer
-    before the first compilation finishes.
-    """
-    if not samples:
-        return 0.0
-    if not 0.0 <= p <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
-    return ordered[rank]
+__all__ = ["ServiceMetrics", "percentile"]
 
 
 class ServiceMetrics:
@@ -58,84 +54,100 @@ class ServiceMetrics:
     WINDOW = 2048
 
     def __init__(self, window: int = WINDOW):
-        self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=window)
-        self.requests = 0
-        self.compiled = 0
-        self.cache_hits = 0
-        self.coalesced = 0
-        self.rejected = 0
-        self.errors = 0
+        self._registry = MetricsRegistry("serve")
+        self._requests = self._registry.counter("requests")
+        self._compiled = self._registry.counter("compiled")
+        self._cache_hits = self._registry.counter("cache_hits")
+        self._coalesced = self._registry.counter("coalesced")
+        self._rejected = self._registry.counter("rejected")
+        self._errors = self._registry.counter("errors")
+        self._latency = self._registry.histogram("latency_seconds", window=window)
         #: Callable returning the live queue depth (set by the service).
         self.queue_depth_probe: Optional[Callable[[], int]] = None
+        self._registry.gauge("queue_depth", probe=self.queue_depth)
+        #: Scope name this instance got in the global registry snapshot
+        #: ("serve", "serve#2", ... — one per live service, weakly held).
+        self.scope = get_registry().register_collector("serve", self.snapshot)
 
     # -- recording (called by the service) ----------------------------------
 
     def record_request(self) -> None:
-        with self._lock:
-            self.requests += 1
+        self._requests.inc()
 
     def record_compiled(self) -> None:
-        with self._lock:
-            self.compiled += 1
+        self._compiled.inc()
 
     def record_cache_hit(self) -> None:
-        with self._lock:
-            self.cache_hits += 1
+        self._cache_hits.inc()
 
     def record_coalesced(self) -> None:
-        with self._lock:
-            self.coalesced += 1
+        self._coalesced.inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors += 1
+        self._errors.inc()
 
     def record_latency(self, seconds: float) -> None:
-        with self._lock:
-            self._latencies.append(seconds)
+        self._latency.observe(seconds)
 
     # -- reading ------------------------------------------------------------
 
     @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def compiled(self) -> int:
+        return self._compiled.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
     def coalesce_rate(self) -> float:
         """Fraction of accepted requests served by coalescing."""
-        with self._lock:
-            accepted = self.requests - self.rejected
-            return self.coalesced / accepted if accepted else 0.0
+        accepted = self._requests.value - self._rejected.value
+        return self._coalesced.value / accepted if accepted else 0.0
 
     def queue_depth(self) -> int:
         probe = self.queue_depth_probe
         return probe() if probe is not None else 0
 
     def latency_percentile(self, p: float) -> float:
-        with self._lock:
-            samples = list(self._latencies)
-        return percentile(samples, p)
+        return self._latency.percentile(p)
 
     def snapshot(self) -> dict[str, float]:
-        """One consistent dict of every counter and derived rate."""
-        with self._lock:
-            samples = list(self._latencies)
-            counters = {
-                "requests": self.requests,
-                "compiled": self.compiled,
-                "cache_hits": self.cache_hits,
-                "coalesced": self.coalesced,
-                "rejected": self.rejected,
-                "errors": self.errors,
-            }
-            accepted = self.requests - self.rejected
-            rate = self.coalesced / accepted if accepted else 0.0
-        counters["coalesce_rate"] = round(rate, 4)
+        """One dict of every counter and derived rate (keys are stable
+        across the registry migration — consumers pin them)."""
+        latency = self._latency.snapshot()
+        counters = {
+            "requests": self.requests,
+            "compiled": self.compiled,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+        }
+        counters["coalesce_rate"] = round(self.coalesce_rate, 4)
         counters["queue_depth"] = self.queue_depth()
-        counters["latency_samples"] = len(samples)
-        counters["p50_ms"] = round(1e3 * percentile(samples, 50.0), 3)
-        counters["p99_ms"] = round(1e3 * percentile(samples, 99.0), 3)
+        counters["latency_samples"] = latency["window_count"]
+        counters["p50_ms"] = round(1e3 * latency["p50"], 3)
+        counters["p99_ms"] = round(1e3 * latency["p99"], 3)
         return counters
 
     def __str__(self) -> str:

@@ -67,8 +67,36 @@ def encode_request(ctx, use_cache: bool = True) -> dict[str, Any]:
     return payload
 
 
-def compile_job(request: dict[str, Any]) -> str:
-    """Run one compilation in the worker; returns the artifact wire text."""
+def compile_job(request: dict[str, Any]) -> Any:
+    """Run one compilation in the worker.
+
+    Returns the artifact wire text (a plain string — the PR-4 protocol).
+    When the request carries a ``"trace"`` context the parent is tracing:
+    the worker compiles with tracing enabled under that remote parent, and
+    the response becomes ``{"artifact": wire, "spans": [...]}`` so the
+    worker-side spans (sharing the parent's trace ID) ride home for
+    re-emission.  Untraced requests keep the string response unchanged.
+    """
+    trace_context = request.get("trace")
+    if trace_context is None:
+        return _compile(request)
+    from repro.obs import trace as obs_trace
+
+    was_enabled = obs_trace.enabled()
+    obs_trace.enable()
+    try:
+        with obs_trace.capture() as spans:
+            with obs_trace.continue_trace(trace_context):
+                with obs_trace.span("procpool.compile", pid=os.getpid()):
+                    wire = _compile(request)
+    finally:
+        if not was_enabled:
+            obs_trace.disable()
+    return {"artifact": wire, "spans": [item.to_dict() for item in spans]}
+
+
+def _compile(request: dict[str, Any]) -> str:
+    """The compilation itself; returns the artifact wire text."""
     from repro.codegen.serialize import chain_from_dict
     from repro.compiler.pipeline import CompileOptions
 

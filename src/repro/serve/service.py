@@ -53,6 +53,8 @@ from repro.errors import ServiceClosedError, ServiceOverloadedError
 from repro.compiler.dispatch import CostEstimator
 from repro.compiler.pipeline import PassContext
 from repro.compiler.session import CompilerSession
+from repro.obs import get_registry
+from repro.obs import trace as obs_trace
 from repro.serve.metrics import ServiceMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -443,7 +445,14 @@ class CompileService:
     # -- lifecycle -----------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Service metrics + session cache counters, JSON-ready."""
+        """Service metrics + session cache counters, JSON-ready.
+
+        The ``obs`` key is the process-wide :mod:`repro.obs` registry
+        snapshot — service counters (this service's scope plus any other
+        live services), cache tier hit/miss, pipeline pass timings, memo
+        stats, and per-kernel execution histograms — so one ``stats`` op
+        answers for every layer.
+        """
         with self._lock:
             registry_entries = len(self._registry)
             inflight = len(self._inflight)
@@ -480,6 +489,7 @@ class CompileService:
                 "executions": executions,
                 "last_execute_seconds": last_execute_seconds,
             },
+            "obs": get_registry().snapshot(),
         }
         last = self.session.last_context
         if last is not None and (last.timings or last.diagnostics):
@@ -608,7 +618,18 @@ class CompileService:
             from repro.serve import procpool
 
             request = procpool.encode_request(leader.ctx, use_cache=use_cache)
-            wire = self._pool.submit(procpool.compile_job, request).result()
+            trace_context = obs_trace.current_context()
+            if trace_context is not None:
+                # Ship the trace identity across the process boundary; the
+                # worker answers with its spans, re-emitted here so the
+                # whole compile is one trace.
+                request["trace"] = trace_context
+            response = self._pool.submit(procpool.compile_job, request).result()
+            if isinstance(response, dict):
+                wire = response["artifact"]
+                obs_trace.ingest(response.get("spans", []))
+            else:  # untraced requests keep the plain wire-string protocol
+                wire = response
             entry = CompiledProgram.loads(wire)
             compiled = True
             if use_cache:
@@ -624,6 +645,11 @@ class CompileService:
         return generated, compiled
 
     def _process(self, record: _Inflight) -> None:
+        with obs_trace.span("serve.request", key=record.key) as request_span:
+            request_span.annotate(mode=self.workers_mode)
+            self._process_record(record)
+
+    def _process_record(self, record: _Inflight) -> None:
         use_cache = record.use_cache
         leader = record.leader
         try:

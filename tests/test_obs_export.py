@@ -1,0 +1,152 @@
+"""repro.obs.export: JSON-lines files, Prometheus text, and the HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    JsonLinesExporter,
+    MetricsRegistry,
+    read_trace_file,
+    render_prometheus,
+    serve_metrics_http,
+    tracing_to,
+)
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    obs_trace.disable()
+    obs_trace.drain()
+    yield
+    obs_trace.disable()
+    obs_trace.drain()
+
+
+class TestJsonLines:
+    def test_span_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs_trace.enable()
+        with JsonLinesExporter(path):
+            with obs_trace.span("outer", size=3):
+                with obs_trace.span("inner"):
+                    pass
+        records = read_trace_file(path)
+        assert [r["kind"] for r in records] == ["span", "span"]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["trace_id"] == records[1]["trace_id"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        assert records[1]["attributes"] == {"size": 3}
+        # every line parses standalone — the file is valid JSON-lines
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_metrics_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(5)
+        exporter = JsonLinesExporter(path)
+        exporter.export_metrics(registry)
+        exporter.close()
+        (record,) = read_trace_file(path)
+        assert record["kind"] == "metrics"
+        assert record["snapshot"]["counters"] == {"hits": 5}
+        assert record["time"] > 0
+
+    def test_close_detaches_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs_trace.enable()
+        exporter = JsonLinesExporter(path).install()
+        exporter.close()
+        with obs_trace.span("after-close"):
+            pass
+        assert read_trace_file(path) == []
+
+    def test_tracing_to_enables_then_restores(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert not obs_trace.enabled()
+        with tracing_to(path):
+            assert obs_trace.enabled()
+            with obs_trace.span("work"):
+                pass
+        assert not obs_trace.enabled()
+        records = read_trace_file(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["span", "metrics"]  # final snapshot is stamped last
+
+    def test_tracing_to_preserves_already_enabled(self, tmp_path):
+        obs_trace.enable()
+        with tracing_to(tmp_path / "trace.jsonl"):
+            pass
+        assert obs_trace.enabled()
+
+
+class TestRenderPrometheus:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.lookups", tier="memory", outcome="hit").inc(3)
+        registry.gauge("queue.depth").set(2)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_cache_lookups counter" in text
+        assert 'repro_cache_lookups{outcome="hit",tier="memory"} 3.0' in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2.0" in text
+        assert text.endswith("\n")
+
+    def test_histogram_as_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency.seconds", backend="blas")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_latency_seconds summary" in text
+        assert 'repro_latency_seconds{backend="blas",quantile="0.5"} 2.0' in text
+        assert 'repro_latency_seconds{backend="blas",quantile="0.99"} 4.0' in text
+        assert 'repro_latency_seconds_sum{backend="blas"} 10.0' in text
+        assert 'repro_latency_seconds_count{backend="blas"} 4' in text
+
+    def test_scope_numeric_leaves_become_gauges(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "serve", lambda: {"requests": 7, "nested": {"depth": 2}, "name": "skip-me"}
+        )
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_requests{scope="serve"} 7.0' in text
+        assert 'repro_nested_depth{scope="serve"} 2.0' in text
+        assert "skip-me" not in text  # non-numeric leaves are not exported
+
+    def test_type_line_emitted_once_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("c", tier="a").inc()
+        registry.counter("c", tier="b").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE repro_c counter") == 1
+
+
+class TestMetricsHttp:
+    def test_scrape_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("scrapes").inc(9)
+        server = serve_metrics_http(0, registry=registry)
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(f"http://{host}:{port}/metrics") as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                body = resp.read().decode("utf-8")
+            assert "repro_scrapes 9.0" in body
+        finally:
+            server.shutdown()
+
+    def test_unknown_path_is_404(self):
+        server = serve_metrics_http(0, registry=MetricsRegistry())
+        try:
+            host, port = server.server_address[:2]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()

@@ -1,0 +1,260 @@
+"""The observability surface of the serve layer.
+
+Covers the ServiceMetrics migration onto repro.obs (satellite: snapshot
+keys unchanged), the unified ``stats`` snapshot and ``metrics`` op, and
+trace-context propagation across ``workers_mode="process"`` (a worker
+compile appears as a child span in the parent's trace and round-trips
+through the JSON-lines exporter).
+"""
+
+import pytest
+
+from conftest import general_chain
+
+from repro.obs import get_registry, read_trace_file
+from repro.obs import trace as obs_trace
+from repro.serve.frontend import PROTOCOL_VERSION, handle_request
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.service import CompileService
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    obs_trace.disable()
+    obs_trace.drain()
+    yield
+    obs_trace.disable()
+    obs_trace.drain()
+
+
+class _ReferenceMetrics:
+    """The pre-registry ServiceMetrics logic, inlined as the equivalence
+    oracle: plain ints plus a list-backed latency window."""
+
+    def __init__(self, window):
+        self.requests = self.compiled = self.cache_hits = 0
+        self.coalesced = self.rejected = self.errors = 0
+        self.window = window
+        self.latencies = []
+
+    def record(self, outcome):
+        setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def record_latency(self, seconds):
+        self.latencies.append(seconds)
+        del self.latencies[: -self.window]
+
+    def snapshot(self):
+        accepted = self.requests - self.rejected
+        rate = self.coalesced / accepted if accepted else 0.0
+        return {
+            "requests": self.requests,
+            "compiled": self.compiled,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "coalesce_rate": round(rate, 4),
+            "queue_depth": 0,
+            "latency_samples": len(self.latencies),
+            "p50_ms": round(1e3 * percentile(self.latencies, 50), 3),
+            "p99_ms": round(1e3 * percentile(self.latencies, 99), 3),
+        }
+
+
+class TestServiceMetricsMigration:
+    def test_snapshot_equivalent_to_reference(self):
+        window = 8
+        migrated = ServiceMetrics(window=window)
+        reference = _ReferenceMetrics(window)
+        script = (
+            [("requests", None)] * 10
+            + [("compiled", 0.004), ("compiled", 0.001), ("cache_hits", 0.0005)]
+            + [("coalesced", 0.0002)] * 4
+            + [("rejected", None), ("errors", 0.25)]
+            + [("compiled", t / 1000) for t in range(1, 12)]  # overflow the window
+        )
+        for outcome, latency in script:
+            record = {
+                "requests": migrated.record_request,
+                "compiled": migrated.record_compiled,
+                "cache_hits": migrated.record_cache_hit,
+                "coalesced": migrated.record_coalesced,
+                "rejected": migrated.record_rejected,
+                "errors": migrated.record_error,
+            }[outcome]
+            record()
+            reference.record(outcome)
+            if latency is not None:
+                migrated.record_latency(latency)
+                reference.record_latency(latency)
+        assert migrated.snapshot() == reference.snapshot()
+
+    def test_counters_readable_as_attributes(self):
+        metrics = ServiceMetrics()
+        metrics.record_request()
+        metrics.record_coalesced()
+        assert metrics.requests == 1
+        assert metrics.coalesced == 1
+        assert metrics.compiled == 0
+
+    def test_queue_depth_probe(self):
+        metrics = ServiceMetrics()
+        assert metrics.queue_depth() == 0
+        metrics.queue_depth_probe = lambda: 5
+        assert metrics.snapshot()["queue_depth"] == 5
+
+    def test_str_format_is_stable(self):
+        metrics = ServiceMetrics()
+        metrics.record_request()
+        metrics.record_compiled()
+        metrics.record_latency(0.002)
+        text = str(metrics)
+        assert "requests=1 compiled=1" in text
+        assert "coalesce_rate=0.0%" in text
+        assert "p50=2.00ms" in text
+
+    def test_registered_in_global_scope(self):
+        metrics = ServiceMetrics()
+        metrics.record_request()
+        scopes = get_registry().snapshot()["scopes"]
+        assert metrics.scope in scopes
+        assert scopes[metrics.scope]["requests"] == 1
+
+
+@pytest.fixture(scope="module")
+def thread_service():
+    service = CompileService(workers=2, warm=False)
+    yield service
+    service.close()
+
+
+class TestUnifiedStats:
+    def test_stats_carries_obs_snapshot(self, thread_service):
+        chain = general_chain(3)
+        thread_service.compile(chain, size_range=(10, 40), timeout=120)
+        stats = thread_service.stats()
+        obs = stats["obs"]
+        assert set(obs) == {"counters", "gauges", "histograms", "scopes"}
+        # the service's own counters surface through its collector scope
+        scope = thread_service.metrics.scope
+        assert obs["scopes"][scope]["requests"] >= 1
+        # pipeline pass timings recorded per stage
+        stages = [
+            key
+            for key in obs["histograms"]
+            if key.startswith("compiler.pass_seconds")
+        ]
+        assert stages, obs["histograms"].keys()
+        # runtime collector scope is always registered
+        assert "runtime" in obs["scopes"]
+        assert "memo_evictions" in obs["scopes"]["runtime"]
+
+    def test_metrics_op_renders_prometheus(self, thread_service):
+        response = handle_request(thread_service, {"op": "metrics", "id": 1})
+        assert response["ok"] is True
+        assert response["id"] == 1
+        assert "# TYPE" in response["text"]
+        assert "repro_" in response["text"]
+
+    def test_protocol_version_bumped(self, thread_service):
+        response = handle_request(thread_service, {"op": "stats", "id": 2})
+        assert response["protocol_version"] == PROTOCOL_VERSION
+        assert PROTOCOL_VERSION >= 3
+        assert "obs" in response
+
+    def test_unknown_op_lists_metrics(self, thread_service):
+        response = handle_request(thread_service, {"op": "bogus"})
+        assert response["ok"] is False
+        assert "metrics" in response["error"]
+
+
+@pytest.fixture(scope="module")
+def process_service():
+    service = CompileService(workers=2, workers_mode="process", warm=False)
+    service.prestart()
+    yield service
+    service.close()
+
+
+class TestProcessTracePropagation:
+    def test_worker_compile_is_a_child_span_of_the_parent_trace(
+        self, process_service, tmp_path
+    ):
+        chain = general_chain(4)
+        obs_trace.enable()
+        trace_file = tmp_path / "trace.jsonl"
+        from repro.obs import JsonLinesExporter
+
+        with JsonLinesExporter(trace_file):
+            with obs_trace.capture() as spans:
+                process_service.compile(
+                    chain, size_range=(10, 40), use_cache=False, timeout=300
+                )
+        obs_trace.disable()
+
+        by_name = {}
+        for item in spans:
+            by_name.setdefault(item.name, []).append(item)
+        assert "serve.request" in by_name
+        assert "procpool.compile" in by_name
+        request_span = by_name["serve.request"][0]
+        worker_span = by_name["procpool.compile"][0]
+        # one trace across the process boundary
+        assert worker_span.trace_id == request_span.trace_id
+        # ...and genuinely from another process
+        assert worker_span.process != request_span.process
+        assert worker_span.attributes["pid"] == worker_span.process
+        # the worker span hangs off the parent's request span subtree:
+        # walk parents within the captured set back to serve.request
+        ids = {item.span_id: item for item in spans}
+        node = worker_span
+        seen = set()
+        while node.parent_id in ids and node.span_id not in seen:
+            seen.add(node.span_id)
+            node = ids[node.parent_id]
+        assert node.trace_id == request_span.trace_id
+
+        # satellite: spans round-trip through the JSON-lines exporter.
+        # (The file also holds front-pass spans rooted on the submitting
+        # thread outside serve.request, so filter to this trace.)
+        records = [r for r in read_trace_file(trace_file) if r["kind"] == "span"]
+        in_trace = [r for r in records if r["trace_id"] == request_span.trace_id]
+        names = {r["name"] for r in in_trace}
+        assert {"serve.request", "procpool.compile"} <= names
+        worker_record = next(r for r in in_trace if r["name"] == "procpool.compile")
+        assert worker_record["span_id"] == worker_span.span_id
+        assert worker_record["attributes"]["pid"] == worker_span.process
+
+    def test_untraced_process_compile_stays_plain(self, process_service):
+        chain = general_chain(3)
+        assert not obs_trace.enabled()
+        generated = process_service.compile(
+            chain, size_range=(10, 40), use_cache=False, timeout=300
+        )
+        assert generated.to_program() is not None
+        assert obs_trace.drain() == []
+
+
+class TestRuntimeScope:
+    def test_dispatcher_metrics_flow_into_runtime_scope(self):
+        import numpy as np
+
+        from repro.compiler.selection import all_variants
+        from repro.runtime import Dispatcher, random_instance_arrays
+
+        chain = general_chain(3)
+        dispatcher = Dispatcher(chain, all_variants(chain))
+        rng = np.random.default_rng(7)
+        arrays = random_instance_arrays(chain, (10, 10, 10, 10), rng)
+        dispatcher(*arrays)
+        dispatcher(*arrays)
+        snap = get_registry().snapshot()
+        runtime = snap["scopes"]["runtime"]
+        assert runtime["dispatchers"] >= 1
+        assert runtime["memo_entries"] >= 1
+        assert "memo_evictions" in runtime
+        exec_keys = [
+            key for key in snap["histograms"] if key.startswith("runtime.execute_seconds")
+        ]
+        assert exec_keys

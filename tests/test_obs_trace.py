@@ -1,0 +1,194 @@
+"""repro.obs.trace: span lifecycle, nesting, and cross-process identity."""
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    """Every test starts disabled with an empty buffer and leaks nothing."""
+    obs_trace.disable()
+    obs_trace.drain()
+    yield
+    obs_trace.disable()
+    obs_trace.drain()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_object(self):
+        first = obs_trace.span("a")
+        second = obs_trace.span("b", key="value")
+        assert first is second  # the module-level singleton — no allocation
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with obs_trace.span("a") as item:
+            item.annotate(anything="goes")
+            assert obs_trace.current_span() is None
+        assert obs_trace.drain() == []
+
+    def test_current_context_is_none(self):
+        with obs_trace.span("a"):
+            assert obs_trace.current_context() is None
+
+    def test_traced_decorator_passes_through(self):
+        @obs_trace.traced()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert obs_trace.drain() == []
+
+
+class TestEnabled:
+    def test_root_span_identity(self):
+        obs_trace.enable()
+        with obs_trace.span("root", key="k") as root:
+            assert obs_trace.current_span() is root
+        assert root.parent_id is None
+        assert root.trace_id and root.span_id
+        assert root.trace_id != root.span_id
+        assert root.attributes == {"key": "k"}
+        assert root.status == "ok"
+        assert root.duration >= 0.0
+
+    def test_nesting_shares_trace_id(self):
+        obs_trace.enable()
+        with obs_trace.span("outer") as outer:
+            with obs_trace.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        obs_trace.enable()
+        with obs_trace.span("a") as a:
+            pass
+        with obs_trace.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_finished_spans_land_in_buffer_inner_first(self):
+        obs_trace.enable()
+        with obs_trace.span("outer"):
+            with obs_trace.span("inner"):
+                pass
+        names = [item.name for item in obs_trace.drain()]
+        assert names == ["inner", "outer"]
+        assert obs_trace.drain() == []
+
+    def test_exception_marks_error_status(self):
+        obs_trace.enable()
+        with pytest.raises(RuntimeError):
+            with obs_trace.span("bad") as bad:
+                raise RuntimeError("kaboom")
+        assert bad.status == "error"
+        assert bad.attributes["error"] == "RuntimeError: kaboom"
+        # the error must still propagate (asserted by pytest.raises) and
+        # the span must still be emitted:
+        assert [item.name for item in obs_trace.drain()] == ["bad"]
+
+    def test_annotate_helper_targets_active_span(self):
+        obs_trace.enable()
+        with obs_trace.span("a") as a:
+            obs_trace.annotate(depth=3)
+        assert a.attributes == {"depth": 3}
+        obs_trace.annotate(orphan=True)  # no active span: silently dropped
+
+    def test_traced_decorator_uses_qualname(self):
+        obs_trace.enable()
+
+        @obs_trace.traced()
+        def work():
+            return obs_trace.current_span().name
+
+        name = work()
+        assert name.endswith("work")
+        assert [item.name for item in obs_trace.drain()] == [name]
+
+    def test_capture_collects_only_inner_spans(self):
+        obs_trace.enable()
+        with obs_trace.span("before"):
+            pass
+        with obs_trace.capture() as captured:
+            with obs_trace.span("during"):
+                pass
+        with obs_trace.span("after"):
+            pass
+        assert [item.name for item in captured] == ["during"]
+
+
+class TestCrossProcessIdentity:
+    def test_current_context_round_trip(self):
+        obs_trace.enable()
+        with obs_trace.span("parent") as parent:
+            ctx = obs_trace.current_context()
+        assert ctx == {"trace_id": parent.trace_id, "span_id": parent.span_id}
+
+    def test_continue_trace_adopts_remote_parent(self):
+        obs_trace.enable()
+        ctx = {"trace_id": "t-1", "span_id": "s-1"}
+        with obs_trace.continue_trace(ctx):
+            with obs_trace.span("child") as child:
+                pass
+        assert child.trace_id == "t-1"
+        assert child.parent_id == "s-1"
+        # the synthetic remote parent itself is never emitted:
+        assert [item.name for item in obs_trace.drain()] == ["child"]
+
+    def test_continue_trace_none_is_noop(self):
+        obs_trace.enable()
+        with obs_trace.continue_trace(None):
+            with obs_trace.span("child") as child:
+                pass
+        assert child.parent_id is None
+
+    def test_span_dict_round_trip(self):
+        obs_trace.enable()
+        with obs_trace.span("original", size=10) as original:
+            pass
+        revived = Span.from_dict(original.to_dict())
+        assert revived.to_dict() == original.to_dict()
+
+    def test_ingest_re_emits_worker_spans(self):
+        obs_trace.enable()
+        shipped = [
+            {
+                "name": "procpool.compile",
+                "trace_id": "t-9",
+                "span_id": "s-9",
+                "parent_id": "s-8",
+                "attributes": {"pid": 1234},
+            }
+        ]
+        with obs_trace.capture() as captured:
+            revived = obs_trace.ingest(shipped)
+        assert len(revived) == 1
+        assert captured[0].trace_id == "t-9"
+        assert captured[0].parent_id == "s-8"
+        assert captured[0].attributes == {"pid": 1234}
+
+
+class TestIds:
+    def test_ids_are_unique_and_cheap(self):
+        minted = {obs_trace._new_id() for _ in range(1000)}
+        assert len(minted) == 1000
+
+    def test_sinks_survive_broken_sink(self):
+        obs_trace.enable()
+
+        def broken(_span):
+            raise RuntimeError("exporter died")
+
+        good: list[Span] = []
+        obs_trace.add_sink(broken)
+        obs_trace.add_sink(good.append)
+        try:
+            with obs_trace.span("work"):
+                pass
+        finally:
+            obs_trace.remove_sink(broken)
+            obs_trace.remove_sink(good.append)
+        assert [item.name for item in good] == ["work"]
