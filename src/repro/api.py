@@ -135,9 +135,14 @@ class GeneratedCode:
     @staticmethod
     def from_program(
         program: CompiledProgram,
-        cost_estimator: CostEstimator = flop_estimator,
+        cost_estimator: Optional[CostEstimator] = None,
     ) -> "GeneratedCode":
-        """The executable facade over a (possibly loaded) artifact."""
+        """The executable facade over a (possibly loaded) artifact.
+
+        The default (``None``) estimator lets the program resolve its own
+        cost model — the compile-time ``cost_model`` option and any
+        shipped calibration — instead of forcing FLOPs.
+        """
         return program.to_generated_code(cost_estimator)
 
     def report(self, num_instances: int = 300, seed: int = 0) -> str:
@@ -172,6 +177,7 @@ def compile_chain(
     variant_space: Optional[str] = None,
     max_variants: Optional[int] = None,
     backend: Optional[str] = None,
+    cost_model: Optional[str] = None,
     use_cache: bool = True,
     session: Optional["CompilerSession"] = None,
 ) -> GeneratedCode:
@@ -215,6 +221,12 @@ def compile_chain(
         measured winner).  A runtime knob — it never changes which
         variants are selected, and compilations differing only here share
         one cache entry.
+    cost_model:
+        Cost model of the built dispatcher: ``"flops"`` (analytic FLOP
+        count, the default) or ``"calibrated"`` (feedback-directed
+        per-kernel FLOP/s learned from measured timings; see
+        :mod:`repro.perfmodel.feedback`).  Like ``backend``, a runtime
+        knob excluded from the cache key.
     session:
         The :class:`~repro.compiler.session.CompilerSession` to compile in;
         defaults to the shared process-wide session (and its cache).
@@ -235,12 +247,13 @@ def compile_chain(
         variant_space=variant_space,
         max_variants=max_variants,
         backend=backend,
+        cost_model=cost_model,
     )
 
 
 def load_program(
     path,
-    cost_estimator: CostEstimator = flop_estimator,
+    cost_estimator: Optional[CostEstimator] = None,
     backend: Optional[str] = None,
 ) -> GeneratedCode:
     """Load a compilation artifact file into an executable ``GeneratedCode``.
@@ -250,7 +263,9 @@ def load_program(
     :meth:`GeneratedCode.save`, or a cache :class:`~repro.serve.DiskBackend`
     entry.  Loading reconstructs a working dispatcher without recompiling.
     ``backend`` overrides the artifact's own execution-backend snapshot
-    (``repro run --backend``).
+    (``repro run --backend``); the cost estimator likewise defaults to the
+    artifact's own (its ``cost_model`` option, and shipped calibration —
+    a warmed deployment's saved FLOP/s table dispatches immediately).
     """
     return CompiledProgram.load(path).to_generated_code(
         cost_estimator, backend=backend

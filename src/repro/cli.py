@@ -120,6 +120,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             variant_space=args.variant_space,
             max_variants=args.max_variants,
             backend=args.backend,
+            cost_model=args.cost_model,
         )
         print(generated.describe())
         if args.cpp:
@@ -137,6 +138,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         variant_space=args.variant_space,
         max_variants=args.max_variants,
         backend=args.backend,
+        cost_model=args.cost_model,
     )
     print(generated.describe())
     print()
@@ -151,6 +153,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(f"wrote compiled artifact to {args.output}")
     _print_session_diagnostics(session, args)
     return 0
+
+
+def _cost_unit(runtime) -> str:
+    """The unit of the dispatcher's estimated costs, for display."""
+    if getattr(runtime.cost_estimator, "calibrated", False):
+        return "s, calibrated"
+    return "FLOPs"
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -180,10 +189,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 return 2
         # The artifact's live runtime: sizes inferred once, dispatch and
         # plan-compiled execution in one pass (repro.runtime).
-        runtime = program.runtime(backend=args.backend)
+        runtime = program.runtime(
+            backend=args.backend, cost_model=args.cost_model
+        )
         sizes, variant, cost, result = runtime.run(arrays)
+        unit = _cost_unit(runtime)
         print(f"instance sizes: {list(sizes)}")
-        print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        print(f"dispatched to: {variant.name}  (estimated cost {cost:g} {unit})")
         _, _, plan = runtime.plan_for(sizes, validate=False)
         print(plan.describe())
         if args.out:
@@ -197,11 +209,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.sizes:
         sizes = [int(part) for part in args.sizes.replace(",", " ").split()]
-        variant, cost, plan = program.runtime(backend=args.backend).plan_for(
-            sizes
+        runtime = program.runtime(
+            backend=args.backend, cost_model=args.cost_model
         )
+        variant, cost, plan = runtime.plan_for(sizes)
         print(f"instance sizes: {sizes}")
-        print(f"dispatched to: {variant.name}  (estimated cost {cost:g} FLOPs)")
+        print(
+            f"dispatched to: {variant.name}  "
+            f"(estimated cost {cost:g} {_cost_unit(runtime)})"
+        )
         print(plan.describe())
         return 0
 
@@ -250,12 +266,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.max_cache_entries,
         max_bytes=args.max_cache_bytes,
     )
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("cost_model", args.cost_model),
+        )
+        if value
+    }
     session = CompilerSession(
         cache_capacity=args.cache_capacity,
         cache_backend=cache_backend,
-        options=(
-            CompileOptions(backend=args.backend) if args.backend else None
-        ),
+        options=CompileOptions(**overrides) if overrides else None,
     )
     service = CompileService(
         session,
@@ -350,7 +372,18 @@ def _print_stats_summary(stats: dict) -> None:
             f"memo_hits={runtime.get('memo_hits')}  "
             f"memo_misses={runtime.get('memo_misses')}  "
             f"memo_evictions={runtime.get('memo_evictions')}  "
+            f"reselections={runtime.get('reselections', 0)}  "
             f"executions={runtime.get('executions')}"
+        )
+    calibration = (obs.get("scopes") or {}).get("calibration")
+    if calibration:
+        age = calibration.get("age_seconds")
+        age_text = f"{age:.1f}s" if isinstance(age, (int, float)) else "never"
+        print(
+            f"calibration: entries={calibration.get('entries')}  "
+            f"samples={calibration.get('samples')}  "
+            f"refreshes={calibration.get('refreshes')}  "
+            f"age={age_text}"
         )
     histograms = obs.get("histograms") or {}
 
@@ -358,7 +391,7 @@ def _print_stats_summary(stats: dict) -> None:
         rows = {
             key: value
             for key, value in histograms.items()
-            if key.startswith(prefix)
+            if key.startswith(prefix) and isinstance(value, dict)
         }
         if not rows:
             return
@@ -366,8 +399,8 @@ def _print_stats_summary(stats: dict) -> None:
         for key, hist in sorted(rows.items()):
             label = key.split("{", 1)[-1].rstrip("}") if "{" in key else key
             print(
-                f"  {label:<40} p50={scale * hist['p50']:10.3f} {unit}  "
-                f"(n={hist['count']})"
+                f"  {label:<40} p50={scale * hist.get('p50', 0.0):10.3f} "
+                f"{unit}  (n={hist.get('count', 0)})"
             )
 
     _section("pass timings:", "compiler.pass_seconds", 1e3, "ms")
@@ -537,11 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--variant-space",
-        choices=["auto", "exhaustive", "dp"],
+        choices=["auto", "exhaustive", "dp", "dp-adaptive"],
         default=None,
         help="candidate generation: exhaustive enumeration, DP-seeded "
-        "sparse pool (scales to long chains), or auto by chain length "
-        "(default: the session's own default, i.e. auto)",
+        "sparse pool (scales to long chains), dp-adaptive (grow the DP "
+        "seeding until held-out penalty plateaus), or auto by chain "
+        "length (default: the session's own default, i.e. auto)",
     )
     p.add_argument(
         "--max-variants",
@@ -555,6 +589,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend of the built dispatcher, recorded in the "
         "artifact (default: the session's default, i.e. reference)",
+    )
+    p.add_argument(
+        "--cost-model",
+        choices=["flops", "calibrated"],
+        default=None,
+        help="dispatcher cost model: flops (analytic, default) or "
+        "calibrated (feedback-directed per-kernel FLOP/s learned from "
+        "measured timings; recorded in the artifact)",
     )
     p.add_argument("--cpp", action="store_true", help="emit generated C++")
     p.add_argument("--function-name", default="evaluate_chain")
@@ -615,6 +657,14 @@ def build_parser() -> argparse.ArgumentParser:
         "scipy.linalg.blas/lapack lowering), or auto (micro-benchmark "
         "both per size vector, run the measured winner); default: the "
         "backend recorded in the artifact",
+    )
+    p.add_argument(
+        "--cost-model",
+        choices=["flops", "calibrated"],
+        default=None,
+        help="dispatcher cost model override: flops (analytic) or "
+        "calibrated (shipped/learned per-kernel FLOP/s); default: the "
+        "model recorded in the artifact",
     )
     p.add_argument(
         "--trace",
@@ -685,6 +735,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default execution backend for served compilations (per-request "
         "'backend' options override it)",
+    )
+    p.add_argument(
+        "--cost-model",
+        choices=["flops", "calibrated"],
+        default=None,
+        help="default dispatcher cost model for served compilations "
+        "(per-request 'cost_model' options override it)",
     )
     p.add_argument(
         "--no-warm",

@@ -40,6 +40,9 @@ from repro.compiler.variant import Variant
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.compiler.variant_space import VariantSpace
 
+#: Dispatcher cost models selectable through :attr:`CompileOptions.cost_model`.
+COST_MODEL_NAMES = ("flops", "calibrated")
+
 
 @dataclass(frozen=True)
 class CompileOptions:
@@ -76,6 +79,14 @@ class CompileOptions:
     #: from :meth:`cache_token` — compilations differing only in backend
     #: share one cache entry and diverge in the dispatch pass.
     backend: str = "reference"
+    #: Cost model of the built dispatcher: ``"flops"`` (the paper's
+    #: analytic FLOP count) or ``"calibrated"`` (the feedback-directed
+    #: :class:`~repro.perfmodel.feedback.CalibratedEstimator`, seeded to
+    #: rank like FLOPs and updated online from measured kernel timings).
+    #: Like ``backend``, a *runtime* knob excluded from
+    #: :meth:`cache_token`: it never changes which variants are selected,
+    #: only how the dispatcher prices them per call.
+    cost_model: str = "flops"
     #: Digest of an explicitly supplied training set (None when sampled).
     training_fingerprint: Optional[str] = None
 
@@ -107,6 +118,11 @@ class CompileOptions:
             raise CompilationError(
                 f"backend must be one of {BACKEND_NAMES}, "
                 f"got {self.backend!r}"
+            )
+        if self.cost_model not in COST_MODEL_NAMES:
+            raise CompilationError(
+                f"cost_model must be one of {COST_MODEL_NAMES}, "
+                f"got {self.cost_model!r}"
             )
 
     def cache_token(self) -> tuple:
@@ -442,8 +458,12 @@ class DispatchPass(CompilerPass):
         # The dispatcher is the artifact's *live runtime* (shared memo and
         # term stack), so every consumer holding this compilation — the
         # GeneratedCode facade, the serve registry, repeated execute()
-        # calls — amortizes dispatch state in one place.
-        ctx.dispatcher = ctx.program.runtime(ctx.cost_estimator)
+        # calls — amortizes dispatch state in one place.  The default
+        # estimator lets the program resolve its own (options.cost_model,
+        # shipped calibration); an explicitly injected estimator wins.
+        ctx.dispatcher = ctx.program.runtime(
+            None if ctx.cost_estimator is flop_estimator else ctx.cost_estimator
+        )
 
 
 def _single_variant(chain: Chain) -> Variant:

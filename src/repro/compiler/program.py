@@ -45,7 +45,13 @@ from repro.compiler.dispatch import CostEstimator, Dispatcher, flop_estimator
 from repro.compiler.variant import Variant
 
 #: Bump when the artifact wire layout changes incompatibly.
-ARTIFACT_VERSION = 1
+#: v2 added the optional ``calibration`` section (learned per-kernel
+#: FLOP/s shipped with a warmed deployment); v1 payloads still load,
+#: with an empty calibration.
+ARTIFACT_VERSION = 2
+
+#: Versions :meth:`CompiledProgram.loads` accepts.
+SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 
 
 class ArtifactError(SerializationError):
@@ -111,6 +117,12 @@ class CompiledProgram:
     options: Mapping[str, Any] = field(default_factory=dict)
     #: Instrumentation recorded by the pipeline (e.g. ``variant_pool``).
     diagnostics: Mapping[str, Any] = field(default_factory=dict)
+    #: Learned calibration shipped with the artifact (a
+    #: :meth:`~repro.perfmodel.feedback.CalibratedEstimator.snapshot`
+    #: payload); empty when nothing was learned.  Serialization prefers
+    #: the *live* runtime's estimator state over this static field, so a
+    #: trafficked program saves what it actually learned.
+    calibration: Mapping[str, Any] = field(default_factory=dict)
 
     # -- construction --------------------------------------------------------
 
@@ -125,6 +137,7 @@ class CompiledProgram:
         options: Any = None,
         timings: Optional[Mapping[str, float]] = None,
         diagnostics: Optional[Mapping[str, Any]] = None,
+        calibration: Optional[Mapping[str, Any]] = None,
         copy_training: bool = True,
     ) -> "CompiledProgram":
         """Build (and timestamp) an artifact from pipeline products.
@@ -152,12 +165,38 @@ class CompiledProgram:
             timings=dict(timings or {}),
             options=options_metadata(options) if options is not None else {},
             diagnostics=dict(diagnostics or {}),
+            calibration=dict(calibration or {}),
         )
 
     # -- wire format ---------------------------------------------------------
 
+    def _live_calibration(self) -> dict[str, Any]:
+        """What the ``calibration`` section should say *right now*.
+
+        A program that served traffic through a calibrated runtime has
+        learned rates the static field predates — prefer the live
+        estimator's snapshot, falling back to the field (an artifact
+        loaded and re-saved without traffic keeps its shipped table).
+        """
+        runtime = getattr(self, "_runtime", None)
+        if runtime is not None:
+            estimator = runtime.cost_estimator
+            if getattr(estimator, "calibrated", False):
+                snapshot = getattr(estimator, "snapshot", None)
+                if callable(snapshot):
+                    live = snapshot()
+                    if live:
+                        return live
+        return dict(self.calibration) if self.calibration else {}
+
     def dumps(self, indent: int | None = None) -> str:
-        """Serialize to the versioned artifact wire format (JSON text)."""
+        """Serialize to the versioned artifact wire format (JSON text).
+
+        The optional ``calibration`` section is emitted only when there is
+        learned state to ship (see :meth:`_live_calibration`), so
+        untrafficked artifacts stay byte-identical in shape to v1 apart
+        from the version stamp.
+        """
         from repro.codegen import serialize
 
         payload = {
@@ -175,6 +214,9 @@ class CompiledProgram:
                 "diagnostics": dict(self.diagnostics),
             },
         }
+        calibration = self._live_calibration()
+        if calibration:
+            payload["calibration"] = calibration
         return json.dumps(payload, indent=indent)
 
     @classmethod
@@ -194,10 +236,10 @@ class CompiledProgram:
         if not isinstance(payload, dict):
             raise ArtifactError("artifact payload must be a JSON object")
         version = payload.get("artifact_version")
-        if version != ARTIFACT_VERSION:
+        if version not in SUPPORTED_ARTIFACT_VERSIONS:
             raise ArtifactError(
                 f"unsupported artifact version {version!r} "
-                f"(expected {ARTIFACT_VERSION})"
+                f"(expected one of {SUPPORTED_ARTIFACT_VERSIONS})"
             )
         program = payload.get("program")
         if not isinstance(program, dict):
@@ -224,6 +266,11 @@ class CompiledProgram:
         meta = payload.get("meta") or {}
         if not isinstance(meta, dict):
             raise ArtifactError("artifact 'meta' must be an object")
+        # v1 artifacts have no calibration section; tolerate any
+        # non-object value the same way (no learned state).
+        calibration = payload.get("calibration")
+        if not isinstance(calibration, dict):
+            calibration = {}
         return cls(
             chain=chain,
             variants=tuple(variants),
@@ -234,6 +281,7 @@ class CompiledProgram:
             timings=dict(meta.get("timings") or {}),
             options=dict(meta.get("options") or {}),
             diagnostics=dict(meta.get("diagnostics") or {}),
+            calibration=calibration,
         )
 
     def save(self, path: str | os.PathLike, indent: int | None = 2) -> None:
@@ -261,30 +309,83 @@ class CompiledProgram:
             return backend
         return str(self.options.get("backend") or "reference")
 
+    def _calibrated_estimator(self) -> CostEstimator:
+        """The program's calibrated estimator, built once per artifact.
+
+        With a shipped ``calibration`` section, a *private* estimator is
+        rebuilt from it — a fresh process dispatches with the learned
+        rates immediately, no warm-up — and keeps refreshing from local
+        traffic.  Without one, the process-wide shared estimator is used,
+        so every freshly-compiled calibrated program learns from (and
+        contributes to) the same table.
+        """
+        cached = getattr(self, "_calibrated", None)
+        if cached is None:
+            from repro.perfmodel.feedback import (
+                CalibratedEstimator,
+                get_default_estimator,
+            )
+
+            if self.calibration:
+                cached = CalibratedEstimator.from_snapshot(self.calibration)
+            else:
+                cached = get_default_estimator()
+            object.__setattr__(self, "_calibrated", cached)
+        return cached
+
+    def _resolve_estimator(
+        self,
+        cost_estimator: Optional[CostEstimator],
+        cost_model: Optional[str] = None,
+    ) -> CostEstimator:
+        """An explicit estimator request, else the artifact's own.
+
+        Resolution order: an explicit ``cost_estimator`` wins; then an
+        explicit ``cost_model`` name (the ``repro run --cost-model``
+        override); then a *shipped* ``calibration`` section — the table
+        only exists because a warmed deployment saved it to be used, and
+        it must beat the compile-time options snapshot, which records the
+        ``"flops"`` default whether or not anyone chose it; finally the
+        options snapshot itself.
+        """
+        if cost_estimator is not None:
+            return cost_estimator
+        model = cost_model
+        if model is None:
+            if self.calibration:
+                return self._calibrated_estimator()
+            model = self.options.get("cost_model")
+        if model == "calibrated":
+            return self._calibrated_estimator()
+        return flop_estimator
+
     def to_dispatcher(
         self,
-        cost_estimator: CostEstimator = flop_estimator,
+        cost_estimator: Optional[CostEstimator] = None,
         backend: Optional[str] = None,
+        cost_model: Optional[str] = None,
     ) -> Dispatcher:
         """A *fresh* run-time dispatcher over the artifact's variants.
 
         Each call builds a new dispatcher (empty memo, cold term stack);
         use :meth:`runtime` for the shared per-artifact instance that
-        amortizes dispatch state across calls.  ``backend`` defaults to
-        the artifact's own options snapshot (``reference`` for artifacts
-        predating execution backends).
+        amortizes dispatch state across calls.  ``backend`` and the cost
+        estimator default to the artifact's own snapshot — options,
+        shipped calibration — (``reference``/FLOPs for artifacts predating
+        those sections); see :meth:`_resolve_estimator`.
         """
         return Dispatcher(
             self.chain,
             list(self.variants),
-            cost_estimator=cost_estimator,
+            cost_estimator=self._resolve_estimator(cost_estimator, cost_model),
             backend=self._resolve_backend(backend),
         )
 
     def runtime(
         self,
-        cost_estimator: CostEstimator = flop_estimator,
+        cost_estimator: Optional[CostEstimator] = None,
         backend: Optional[str] = None,
+        cost_model: Optional[str] = None,
     ) -> Dispatcher:
         """The artifact's live runtime: one memoizing dispatcher, reused.
 
@@ -292,25 +393,26 @@ class CompiledProgram:
         :meth:`execute` calls (and every consumer holding this program)
         share one dispatch memo and one flattened cost-term stack instead
         of rebuilding them per request.  Asking for a different
-        ``cost_estimator`` or ``backend`` than the cached runtime's builds
-        a fresh one.
+        ``cost_estimator``, ``cost_model``, or ``backend`` than the cached
+        runtime's builds a fresh one.
         """
         resolved = self._resolve_backend(backend)
+        estimator = self._resolve_estimator(cost_estimator, cost_model)
         cached: Optional[Dispatcher] = getattr(self, "_runtime", None)
         if (
             cached is not None
-            and cached.cost_estimator is cost_estimator
+            and cached.cost_estimator is estimator
             and cached.backend == resolved
         ):
             return cached
-        dispatcher = self.to_dispatcher(cost_estimator, backend=resolved)
+        dispatcher = self.to_dispatcher(estimator, backend=resolved)
         # Frozen dataclass: the runtime is a derived cache, not wire state.
         object.__setattr__(self, "_runtime", dispatcher)
         return dispatcher
 
     def to_generated_code(
         self,
-        cost_estimator: CostEstimator = flop_estimator,
+        cost_estimator: Optional[CostEstimator] = None,
         backend: Optional[str] = None,
     ):
         """The :class:`~repro.api.GeneratedCode` facade over this artifact."""
@@ -371,6 +473,7 @@ class CompiledProgram:
 # Re-exported for callers that only deal with the envelope.
 __all__ = [
     "ARTIFACT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
     "FORMAT_VERSION",
     "ArtifactError",
     "CompiledProgram",

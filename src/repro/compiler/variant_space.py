@@ -27,10 +27,11 @@ variants are present (and are never evicted by ``max_variants``), so the
 essential-set pass always finds its candidates in the cost matrix.
 
 Strategy choice is a :class:`~repro.compiler.pipeline.CompileOptions` knob
-(``variant_space`` = ``"auto"`` | ``"exhaustive"`` | ``"dp"``, plus
-``max_variants``) and therefore part of the compilation-cache key; ``auto``
-picks exhaustive up to :data:`AUTO_EXHAUSTIVE_MAX_N` matrices and DP-seeded
-beyond.
+(``variant_space`` = ``"auto"`` | ``"exhaustive"`` | ``"dp"`` |
+``"dp-adaptive"``, plus ``max_variants``) and therefore part of the
+compilation-cache key; ``auto`` picks exhaustive up to
+:data:`AUTO_EXHAUSTIVE_MAX_N` matrices and DP-seeded beyond, and
+``dp-adaptive`` grows the DP seeding until the held-out penalty plateaus.
 """
 
 from __future__ import annotations
@@ -66,7 +67,7 @@ AUTO_EXHAUSTIVE_MAX_N = 10
 EXHAUSTIVE_VARIANT_LIMIT = 1_000_000
 
 #: The recognised ``CompileOptions.variant_space`` values.
-SPACE_NAMES = ("auto", "exhaustive", "dp")
+SPACE_NAMES = ("auto", "exhaustive", "dp", "dp-adaptive")
 
 
 class VariantSpace:
@@ -203,6 +204,17 @@ class DPSeededSpace(VariantSpace):
     Everything is deduplicated by tree key, so the pool size is at most
     ``max_variants`` but typically far smaller — long general chains often
     have just a handful of distinct DP-optimal shapes.
+
+    With ``adaptive=True`` (``variant_space="dp-adaptive"``), the seeding
+    effort is *sized by measurement* instead of fixed knobs: the training
+    set is split, pools of growing ``num_seeds``/``neighborhood`` are
+    generated from the larger part, and each round's pool is scored by its
+    mean held-out cost minimum (under ``estimator`` — e.g. a calibrated
+    cost model — or analytic FLOPs).  Growth stops when the held-out
+    penalty improves by less than ``plateau_rtol``, or after
+    ``max_rounds`` doublings — "few parenthesisations are essential"
+    (López et al.) says the plateau comes early, so the common case pays
+    one extra round.
     """
 
     name = "dp"
@@ -211,12 +223,22 @@ class DPSeededSpace(VariantSpace):
     DEFAULT_MAX_VARIANTS = 512
     #: How many training rows to run the per-instance DP on.
     DEFAULT_NUM_SEEDS = 32
+    #: Adaptive mode: growth rounds after the first pool.
+    DEFAULT_MAX_ROUNDS = 3
+    #: Adaptive mode: relative held-out improvement that counts as progress.
+    DEFAULT_PLATEAU_RTOL = 0.01
+    #: Adaptive mode: every k-th training row is held out for scoring.
+    HOLDOUT_STRIDE = 4
 
     def __init__(
         self,
         max_variants: Optional[int] = None,
         num_seeds: int = DEFAULT_NUM_SEEDS,
         neighborhood: int = 1,
+        adaptive: bool = False,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        plateau_rtol: float = DEFAULT_PLATEAU_RTOL,
+        estimator=None,
     ):
         if max_variants is not None and max_variants < 1:
             raise CompilationError("max_variants must be >= 1")
@@ -224,11 +246,21 @@ class DPSeededSpace(VariantSpace):
             raise CompilationError("num_seeds must be >= 1")
         if neighborhood < 0:
             raise CompilationError("neighborhood must be >= 0")
+        if max_rounds < 0:
+            raise CompilationError("max_rounds must be >= 0")
+        if plateau_rtol < 0:
+            raise CompilationError("plateau_rtol must be >= 0")
         self.max_variants = (
             max_variants if max_variants is not None else self.DEFAULT_MAX_VARIANTS
         )
         self.num_seeds = num_seeds
         self.neighborhood = neighborhood
+        self.adaptive = adaptive
+        self.max_rounds = max_rounds
+        self.plateau_rtol = plateau_rtol
+        self.estimator = estimator
+        if adaptive:
+            self.name = "dp-adaptive"  # instance attr shadows the class's
 
     def generate(
         self, chain: Chain, training_instances: Optional[np.ndarray]
@@ -238,6 +270,20 @@ class DPSeededSpace(VariantSpace):
                 "the DP-seeded variant space needs training instances; run "
                 "the sample pass (or supply training_instances) first"
             )
+        if not self.adaptive:
+            return self._generate_once(
+                chain, training_instances, self.num_seeds, self.neighborhood
+            )
+        return self._generate_adaptive(chain, np.asarray(training_instances))
+
+    def _generate_once(
+        self,
+        chain: Chain,
+        training_instances: np.ndarray,
+        num_seeds: int,
+        neighborhood: int,
+    ) -> list[Variant]:
+        """One pool at explicit seeding parameters (rebinds diagnostics)."""
         trees = fanning_trees(chain)
         seen = {_tree_key(tree) for tree in trees}
         budget = max(self.max_variants, len(trees))
@@ -259,16 +305,18 @@ class DPSeededSpace(VariantSpace):
                 "pool_size": len(trees),
                 "fanning": fanning,
                 "seed_count": seed_count,
+                "num_seeds": num_seeds,
+                "neighborhood": neighborhood,
                 "dedup_hits": dedup_hits,
                 "capped": truncated,
             }
             return _build_pool(chain, trees)
 
         fanning = len(trees)
-        seeds = dp_seed_trees(chain, training_instances, self.num_seeds)
+        seeds = dp_seed_trees(chain, training_instances, num_seeds)
         seed_count = len(seeds)
         frontier = [tree for tree in seeds if len(trees) < budget and admit(tree)]
-        for _ in range(self.neighborhood):
+        for _ in range(neighborhood):
             next_frontier: list[ParenTree] = []
             for tree in frontier:
                 for neighbor in rotations(tree):
@@ -279,8 +327,95 @@ class DPSeededSpace(VariantSpace):
             frontier = next_frontier
         return finish(False)
 
+    def _generate_adaptive(
+        self, chain: Chain, training_instances: np.ndarray
+    ) -> list[Variant]:
+        """Grow the seeding effort until the held-out penalty plateaus."""
+        if training_instances.shape[0] > self.HOLDOUT_STRIDE:
+            mask = np.arange(training_instances.shape[0]) % self.HOLDOUT_STRIDE == 0
+            holdout, train = training_instances[mask], training_instances[~mask]
+        else:
+            # Too few rows to split: score on what we have.
+            holdout = train = training_instances
+        num_seeds, neighborhood = self.num_seeds, self.neighborhood
+        history: list[dict] = []
+        pool = self._generate_once(chain, train, num_seeds, neighborhood)
+        penalty = self._holdout_penalty(chain, pool, holdout)
+        history.append(
+            {"num_seeds": num_seeds, "neighborhood": neighborhood,
+             "pool_size": len(pool), "holdout_penalty": penalty}
+        )
+        for _ in range(self.max_rounds):
+            if len(pool) >= self.max_variants:
+                break  # the cap is binding; more seeds cannot widen the pool
+            grown_seeds = min(num_seeds * 2, train.shape[0] or num_seeds * 2)
+            grown_hood = neighborhood + 1
+            if grown_seeds == num_seeds and grown_hood == neighborhood:
+                break
+            candidate = self._generate_once(chain, train, grown_seeds, grown_hood)
+            candidate_penalty = self._holdout_penalty(chain, candidate, holdout)
+            history.append(
+                {"num_seeds": grown_seeds, "neighborhood": grown_hood,
+                 "pool_size": len(candidate), "holdout_penalty": candidate_penalty}
+            )
+            improved = (
+                penalty > 0
+                and (penalty - candidate_penalty) / penalty >= self.plateau_rtol
+            )
+            # The grown pool is a superset-quality candidate: keep it even
+            # on the plateau round (it is never worse on the holdout).
+            if candidate_penalty <= penalty:
+                pool, penalty = candidate, candidate_penalty
+                num_seeds, neighborhood = grown_seeds, grown_hood
+            if not improved:
+                break
+        self.diagnostics = dict(self.diagnostics)
+        self.diagnostics.update(
+            {
+                "strategy": self.name,
+                "adaptive_rounds": len(history),
+                "adaptive_history": history,
+                "num_seeds": num_seeds,
+                "neighborhood": neighborhood,
+                "holdout_penalty": penalty,
+                "pool_size": len(pool),
+            }
+        )
+        return pool
+
+    def _holdout_penalty(
+        self, chain: Chain, pool: list[Variant], holdout: np.ndarray
+    ) -> float:
+        """Mean per-instance pool-minimum cost on the held-out rows.
+
+        Scored under the configured ``estimator`` when it supports the
+        batched ``cost_many`` protocol (the calibrated cost model), else
+        under the analytic FLOP broadcast sweep.
+        """
+        instances = np.asarray(holdout, dtype=np.float64)
+        cost_many = getattr(self.estimator, "cost_many", None)
+        if cost_many is not None:
+            costs = np.stack(
+                [
+                    np.asarray(cost_many(v, instances), dtype=np.float64)
+                    for v in pool
+                ]
+            )
+        else:
+            from repro.compiler.selection import (
+                evaluate_cost_terms,
+                flatten_cost_terms,
+            )
+
+            stack = flatten_cost_terms(tuple(pool), chain.n + 1)
+            costs = evaluate_cost_terms(stack, len(pool), instances)
+        return float(costs.min(axis=0).mean())
+
     def cache_token(self) -> tuple:
-        return (self.max_variants, self.num_seeds, self.neighborhood)
+        token: tuple = (self.max_variants, self.num_seeds, self.neighborhood)
+        if self.adaptive:
+            token += ("adaptive", self.max_rounds, self.plateau_rtol)
+        return token
 
 
 def make_space(name: str, max_variants: Optional[int] = None) -> VariantSpace:
@@ -289,6 +424,8 @@ def make_space(name: str, max_variants: Optional[int] = None) -> VariantSpace:
         return ExhaustiveSpace(max_variants=max_variants)
     if name == "dp":
         return DPSeededSpace(max_variants=max_variants)
+    if name == "dp-adaptive":
+        return DPSeededSpace(max_variants=max_variants, adaptive=True)
     raise CompilationError(
         f"unknown variant space {name!r}; expected one of {SPACE_NAMES}"
     )

@@ -48,18 +48,24 @@ __all__ = [
 DEFAULT_WINDOW = 1024
 
 
-def percentile(samples: list[float], p: float) -> float:
+def percentile(
+    samples: list[float], p: float, default: Optional[float] = 0.0
+) -> Optional[float]:
     """Nearest-rank percentile of ``samples`` (``p`` in [0, 100]).
 
     The rank is the explicit ``ceil(p/100 * n)`` (1-indexed, clamped to
     the first element for ``p = 0``).  The historical implementation used
     ``round()``, whose banker's rounding (``round(2.5) == 2``) shifted the
     index down on half-way boundaries — e.g. the median of five samples
-    came back as the *second*-smallest.  Returns 0.0 for an empty sample
-    set — the stats endpoints must answer before the first observation.
+    came back as the *second*-smallest.  An empty sample set returns
+    ``default`` — 0.0 keeps the stats endpoints answering before the
+    first observation, while callers that must *distinguish* "no data"
+    from a measured zero (the calibrated cost model reads medians that
+    become rate denominators) pass ``default=None`` and branch on it
+    instead of dividing by a fabricated 0.0.
     """
     if not samples:
-        return 0.0
+        return default
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
     ordered = sorted(samples)
@@ -204,10 +210,24 @@ class Histogram:
         with self._lock:
             return self._count
 
-    def percentile(self, p: float) -> float:
+    def percentile(
+        self, p: float, default: Optional[float] = 0.0
+    ) -> Optional[float]:
+        """Windowed nearest-rank percentile; ``default`` on an empty window.
+
+        The window (not the cumulative count) is what can be empty — a
+        long-lived histogram keeps its totals while the sliding window
+        drains only by displacement, so emptiness means "no observation
+        yet".  Calibration readers pass ``default=None`` to tell that
+        apart from a genuine 0.0 sample.
+        """
         with self._lock:
             samples = list(self._samples)
-        return percentile(samples, p)
+        return percentile(samples, p, default=default)
+
+    def median(self, default: Optional[float] = None) -> Optional[float]:
+        """The windowed median, ``default`` (None) before any observation."""
+        return self.percentile(50.0, default=default)
 
     def snapshot(self) -> dict[str, float]:
         with self._lock:

@@ -28,6 +28,18 @@ mutating the variant list in place, or swapping
 :attr:`Dispatcher.cost_estimator`.  Memo bookkeeping is guarded by a
 lock, so one dispatcher may serve many threads (plans themselves are
 stateless and replay concurrently).
+
+Dispatch can additionally be *feedback-directed*: with ``reselect_ratio``
+set, every memoized decision tracks its measured replay time (an EMA),
+and at exponentially-backed-off checkpoints the dispatcher refreshes the
+calibrated model (:class:`~repro.perfmodel.feedback.CalibratedEstimator`)
+and re-sweeps the pool under it.  The entry's plan is swapped in place
+when the calibrated winner differs and the measurement disagrees with
+the prediction — or the calibrated winner undercuts the current variant
+— by at least the ratio.  A selection the analytic FLOP model got wrong
+on this machine thereby corrects itself from live traffic, while the hot
+path stays amortized O(1) (one integer compare per call between
+checkpoints; sweeps are logarithmic in an entry's executions).
 """
 
 from __future__ import annotations
@@ -36,7 +48,14 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -44,7 +63,7 @@ from repro.errors import DispatchError
 from repro.ir.chain import Chain
 from repro.obs import get_registry
 from repro.obs import trace as obs_trace
-from repro.runtime.backends import BACKEND_NAMES, FALLBACK_ROUTINE
+from repro.runtime.backends import BACKEND_NAMES, FALLBACK_ROUTINE, Backend
 from repro.runtime.executor import SizeInferencer, random_instance_arrays
 from repro.runtime.plan import ExecutionPlan, compile_plan
 
@@ -59,6 +78,13 @@ DEFAULT_MEMO_CAPACITY = 512
 
 #: Replays per backend when ``auto`` micro-benchmarks a memo entry.
 AUTO_BENCH_REPS = 2
+
+#: Executions of a memo entry before its first measured-vs-predicted
+#: disagreement check (subsequent checks back off exponentially).
+DEFAULT_RESELECT_MIN_EXECUTIONS = 8
+
+#: EMA weight of the freshest measured replay time in an entry's estimate.
+MEASURED_EMA_WEIGHT = 0.3
 
 
 def flop_estimator(variant: Variant, sizes: Sequence[int]) -> float:
@@ -86,6 +112,8 @@ def runtime_snapshot() -> dict[str, object]:
         "memo_hits": 0,
         "memo_misses": 0,
         "memo_evictions": 0,
+        "reselect_checks": 0,
+        "reselections": 0,
         "executions": {},
         "last_execute_seconds": None,
     }
@@ -97,6 +125,8 @@ def runtime_snapshot() -> dict[str, object]:
         agg["memo_hits"] += stats["hits"]
         agg["memo_misses"] += stats["misses"]
         agg["memo_evictions"] += stats["evictions"]
+        agg["reselect_checks"] += stats["reselect_checks"]
+        agg["reselections"] += stats["reselections"]
         for name, count in stats["executions"].items():
             executions[name] = executions.get(name, 0) + count
         stamp = dispatcher.last_execute_at
@@ -125,7 +155,17 @@ class _MemoEntry:
     pool), so a stale entry can never index out of a reassigned list.
     """
 
-    __slots__ = ("variant", "cost", "plan", "backend", "bench", "kernel_hists")
+    __slots__ = (
+        "variant",
+        "cost",
+        "plan",
+        "backend",
+        "bench",
+        "kernel_hists",
+        "executions",
+        "measured_ema",
+        "next_check",
+    )
 
     def __init__(
         self, variant: "Variant", cost: float, plan: Optional[ExecutionPlan]
@@ -137,9 +177,17 @@ class _MemoEntry:
         self.backend: Optional[str] = None
         #: ``auto`` only: measured seconds per backend for this entry.
         self.bench: Optional[dict[str, float]] = None
-        #: Traced-replay observers (one Histogram.observe per plan step),
-        #: built lazily on the first traced execution of the plan.
-        self.kernel_hists: Optional[tuple[Callable[[float], None], ...]] = None
+        #: Traced-replay observers, built lazily on the first traced
+        #: execution of the plan: one ``(observe_seconds, observe_rate,
+        #: step_flops)`` triple per plan step.
+        self.kernel_hists: Optional[
+            tuple[tuple[Callable[[float], None], Callable[[float], None], float], ...]
+        ] = None
+        #: Feedback bookkeeping (re-selection): replays of this entry,
+        #: EMA of measured replay seconds, next disagreement checkpoint.
+        self.executions = 0
+        self.measured_ema: Optional[float] = None
+        self.next_check = 0
 
 
 class Dispatcher:
@@ -153,6 +201,20 @@ class Dispatcher:
 
     ``memo_capacity`` bounds the memo (LRU eviction); ``0`` disables
     memoization, restoring a full cost sweep per call.
+
+    ``backend`` is a registered strategy name (``reference``/``blas``/
+    ``auto``) or a concrete :class:`~repro.runtime.backends.Backend`
+    instance (synthetic machines in benchmarks, custom lowerings).
+
+    ``reselect_ratio`` enables feedback-directed re-selection (module
+    docstring): a memo entry whose measured replay time disagrees with
+    the calibrated prediction by at least this factor (e.g. ``2.0``) —
+    or which the calibrated sweep undercuts by it — is re-selected under
+    ``calibration`` — by default the process-wide
+    :func:`~repro.perfmodel.feedback.get_default_estimator`, or the
+    dispatcher's own cost estimator when that is already calibrated.
+    Checks start after ``reselect_min_executions`` replays of an entry
+    and back off exponentially.
     """
 
     def __init__(
@@ -161,7 +223,10 @@ class Dispatcher:
         variants: Sequence[Variant],
         cost_estimator: CostEstimator = flop_estimator,
         memo_capacity: int = DEFAULT_MEMO_CAPACITY,
-        backend: str = "reference",
+        backend: Union[str, Backend] = "reference",
+        calibration: Optional[CostEstimator] = None,
+        reselect_ratio: Optional[float] = None,
+        reselect_min_executions: int = DEFAULT_RESELECT_MIN_EXECUTIONS,
     ):
         if not variants:
             raise DispatchError("a dispatcher needs at least one variant")
@@ -172,6 +237,10 @@ class Dispatcher:
                 )
         if memo_capacity < 0:
             raise DispatchError("memo_capacity must be >= 0")
+        if reselect_ratio is not None and reselect_ratio <= 1.0:
+            raise DispatchError("reselect_ratio must be > 1.0")
+        if reselect_min_executions < 1:
+            raise DispatchError("reselect_min_executions must be >= 1")
         self.chain = chain
         self.memo_capacity = memo_capacity
         self._infer = SizeInferencer(chain)
@@ -193,6 +262,19 @@ class Dispatcher:
         self.variants = list(variants)  # via the setter: resets the caches
         self._cost_estimator = cost_estimator
         self._backend = self._validate_backend(backend)
+        self.reselect_checks = 0  #: disagreement checkpoints evaluated
+        self.reselections = 0  #: memo entries swapped by feedback
+        self._reselect_ratio = (
+            float(reselect_ratio) if reselect_ratio is not None else None
+        )
+        self._reselect_min = int(reselect_min_executions)
+        if calibration is None and getattr(cost_estimator, "calibrated", False):
+            calibration = cost_estimator
+        if calibration is None and self._reselect_ratio is not None:
+            from repro.perfmodel.feedback import get_default_estimator
+
+            calibration = get_default_estimator()
+        self._calibration = calibration
         #: Per-backend execute-time Histogram cache: the registry lookup
         #: (string formatting + dict get under a lock) is too slow for the
         #: per-call hot path, the bound observe() is not.
@@ -222,11 +304,22 @@ class Dispatcher:
         # drop them.  The term stack only serves the FLOP fast path and
         # stays valid for the same pool.
         self._cost_estimator = value
+        if getattr(value, "calibrated", False):
+            self._calibration = value
         with self._memo_lock:
             self._memo.clear()
 
+    @property
+    def calibration(self) -> Optional[CostEstimator]:
+        """The estimator feedback re-selection sweeps under (if enabled)."""
+        return self._calibration
+
     @staticmethod
-    def _validate_backend(backend: str) -> str:
+    def _validate_backend(
+        backend: Union[str, Backend]
+    ) -> Union[str, Backend]:
+        if isinstance(backend, Backend):
+            return backend
         if backend not in BACKEND_NAMES:
             raise DispatchError(
                 f"unknown execution backend {backend!r}; "
@@ -235,12 +328,19 @@ class Dispatcher:
         return backend
 
     @property
-    def backend(self) -> str:
-        """The execution-backend strategy (``reference``/``blas``/``auto``)."""
+    def backend(self) -> Union[str, Backend]:
+        """The execution-backend strategy (name or Backend instance)."""
         return self._backend
 
+    @property
+    def _backend_label(self) -> str:
+        """The backend's display/metric-label name (Backend instances
+        label by their ``name`` attribute)."""
+        backend = self._backend
+        return backend if isinstance(backend, str) else backend.name
+
     @backend.setter
-    def backend(self, value: str) -> None:
+    def backend(self, value: Union[str, Backend]) -> None:
         value = self._validate_backend(value)
         if value == self._backend:
             return
@@ -356,6 +456,17 @@ class Dispatcher:
                     if self._pool_snapshot is snapshot:
                         self._term_stack = (snapshot, stack)
             return evaluate_cost_terms(stack, len(snapshot), validated)
+        cost_many = getattr(self._cost_estimator, "cost_many", None)
+        if cost_many is not None:
+            # Batched estimators (CalibratedEstimator) vectorize over
+            # instances — one numpy pass per (variant, step) instead of a
+            # Python call per (variant, instance) pair.
+            return np.stack(
+                [
+                    np.asarray(cost_many(v, validated), dtype=np.float64)
+                    for v in snapshot
+                ]
+            )
         return np.array(
             [
                 [
@@ -527,18 +638,35 @@ class Dispatcher:
 
     def _kernel_observers(
         self, entry: _MemoEntry, plan: ExecutionPlan
-    ) -> tuple[Callable[[float], None], ...]:
+    ) -> tuple[tuple[Callable[[float], None], Callable[[float], None], float], ...]:
         """The entry's per-step histogram observers, built on first traced
-        replay and cached on the memo entry (invalidated with the plan)."""
+        replay and cached on the memo entry (invalidated with the plan).
+
+        Each step gets a ``(observe_seconds, observe_rate, flops)`` triple:
+        the raw duration histogram plus the observed-FLOP/s histogram the
+        calibrated cost model refreshes from — the step's analytic FLOPs
+        are computed once here (cold path), so the traced hot loop pays
+        one division per step to report a rate.
+        """
         observers = entry.kernel_hists
         if observers is None:
+            from repro.perfmodel.feedback import KERNEL_RATE_METRIC, step_flops
+
             registry = get_registry()
             observers = tuple(
-                registry.histogram(
-                    "runtime.kernel_seconds",
-                    kernel=step.kernel.name,
-                    routine=routine,
-                ).observe
+                (
+                    registry.histogram(
+                        "runtime.kernel_seconds",
+                        kernel=step.kernel.name,
+                        routine=routine,
+                    ).observe,
+                    registry.histogram(
+                        KERNEL_RATE_METRIC,
+                        kernel=step.kernel.name,
+                        routine=routine,
+                    ).observe,
+                    step_flops(step, plan.sizes),
+                )
                 for step, routine in zip(
                     plan.variant.steps, plan.step_routines
                 )
@@ -602,10 +730,12 @@ class Dispatcher:
                 )
                 raise
             elapsed = time.perf_counter() - start
-            for observe, seconds in zip(
+            for (observe_s, observe_rate, flops), seconds in zip(
                 self._kernel_observers(entry, plan), durations
             ):
-                observe(seconds)
+                observe_s(seconds)
+                if seconds > 0.0 and flops > 0.0:
+                    observe_rate(flops / seconds)
             obs_trace.leaf_span(
                 "runtime.run",
                 started_at,
@@ -622,7 +752,122 @@ class Dispatcher:
             self.last_execute_seconds = elapsed
             self.last_execute_at = time.monotonic()
         self._observe_execution(plan.backend, elapsed)
-        return DispatchOutcome(sizes, entry.variant, entry.cost, result)
+        # Snapshot the decision that actually ran before the feedback
+        # checkpoint — a re-selection there swaps the entry in place, and
+        # the outcome must describe this call, not the next one.
+        variant, cost = entry.variant, entry.cost
+        if self._reselect_ratio is not None:
+            self._feedback(entry, sizes, elapsed)
+        return DispatchOutcome(sizes, variant, cost, result)
+
+    def _feedback(
+        self, entry: _MemoEntry, q: tuple[int, ...], elapsed: float
+    ) -> None:
+        """Measured-vs-predicted disagreement check for one replay.
+
+        Between checkpoints this is one increment, one EMA update, and one
+        integer compare.  At a checkpoint (the first after
+        ``reselect_min_executions`` replays, then doubling — so the total
+        number of checks over an entry's lifetime is logarithmic in its
+        executions), the calibration refreshes and the full pool is
+        re-swept under it.  The entry's decision is swapped (the plan
+        recompiles lazily on the next call) when the calibrated winner
+        differs and either trigger fires by ``reselect_ratio``:
+
+        * *disagreement* — the measured EMA and the calibrated prediction
+          of the current variant diverge (the model has not caught up with
+          this machine yet, so the original selection is suspect);
+        * *advantage* — the calibrated model prices another variant that
+          much cheaper than the current one.  This is the trigger that
+          fires once calibration has learned from this very entry's
+          traffic: prediction then *agrees* with the measurement, yet the
+          learned rates expose a better selection.
+
+        Without the advantage trigger, an entry whose own traffic taught
+        the model would never re-select — agreement would mask the now
+        visibly-wrong original choice.
+        """
+        entry.executions += 1
+        ema = entry.measured_ema
+        entry.measured_ema = (
+            elapsed
+            if ema is None
+            else ema + MEASURED_EMA_WEIGHT * (elapsed - ema)
+        )
+        if entry.executions < max(self._reselect_min, entry.next_check):
+            return
+        entry.next_check = entry.executions * 2
+        calibration = self._calibration
+        measured = entry.measured_ema
+        refresh = getattr(calibration, "maybe_refresh", None)
+        if refresh is not None:
+            refresh()
+        predicted = float(calibration(entry.variant, q))
+        self.reselect_checks += 1
+        if measured <= 0.0 or predicted <= 0.0:
+            return
+        disagreement = (
+            measured / predicted
+            if measured >= predicted
+            else predicted / measured
+        )
+        snapshot = self._sync_pool()
+        costs = self._evaluate_under(
+            calibration, snapshot, np.asarray(q, dtype=np.float64)[None, :]
+        )
+        index = int(costs[:, 0].argmin())
+        winner = snapshot[index]
+        best = float(costs[index, 0])
+        advantage = predicted / best if best > 0.0 else float("inf")
+        if (
+            disagreement < self._reselect_ratio
+            and advantage < self._reselect_ratio
+        ):
+            return
+        with self._memo_lock:
+            if winner is entry.variant:
+                # The calibrated model disagrees with the measurement but
+                # still picks the same variant: refresh the entry's cost
+                # (now in calibrated seconds) and keep the plan warm.
+                entry.cost = float(costs[index, 0])
+                return
+            self.reselections += 1
+            entry.variant = winner
+            entry.cost = float(costs[index, 0])
+            entry.plan = None
+            entry.backend = None
+            entry.bench = None
+            entry.kernel_hists = None
+            entry.executions = 0
+            entry.measured_ema = None
+            entry.next_check = 0
+
+    @staticmethod
+    def _evaluate_under(
+        estimator: CostEstimator,
+        snapshot: tuple["Variant", ...],
+        validated: np.ndarray,
+    ) -> np.ndarray:
+        """One cost sweep under an *explicit* estimator (re-selection uses
+        the calibration model regardless of ``self.cost_estimator``)."""
+        cost_many = getattr(estimator, "cost_many", None)
+        if cost_many is not None:
+            return np.stack(
+                [
+                    np.asarray(cost_many(v, validated), dtype=np.float64)
+                    for v in snapshot
+                ]
+            )
+        return np.array(
+            [
+                [
+                    float(estimator(v, tuple(int(x) for x in row)))
+                    for row in validated
+                ]
+                for v in snapshot
+            ],
+            dtype=np.float64,
+        ).reshape(len(snapshot), validated.shape[0])
 
     def __call__(self, *arrays: np.ndarray) -> np.ndarray:
         """Evaluate the chain: infer sizes, pick the best variant, run it."""
@@ -705,7 +950,7 @@ class Dispatcher:
                 self.last_execute_seconds = elapsed
                 self.last_execute_at = time.monotonic()
             get_registry().histogram(
-                "runtime.batch_seconds", backend=self._backend
+                "runtime.batch_seconds", backend=self._backend_label
             ).observe(elapsed)
         return results
 
@@ -724,7 +969,9 @@ class Dispatcher:
                 "hits": self.memo_hits,
                 "misses": self.memo_misses,
                 "evictions": self.memo_evictions,
-                "backend": self._backend,
+                "backend": self._backend_label,
+                "reselect_checks": self.reselect_checks,
+                "reselections": self.reselections,
                 "executions": dict(self.backend_executions),
                 "last_execute_seconds": self.last_execute_seconds,
             }

@@ -38,7 +38,11 @@ Request schema (``id`` is optional and echoed back verbatim):
     session cache counters, and ``execution`` — per-backend executed
     instance counts aggregated over the live handle registry plus the
     most recent replay wall time (how ``auto``'s measured backend choices
-    surface in production).
+    surface in production).  The unified ``obs`` snapshot additionally
+    carries the ``calibration`` collector scope (calibrated-estimator
+    table size, sample counts, and refresh age) and the per-dispatcher
+    re-selection counters under ``runtime`` once feedback-directed
+    dispatch is active — additive fields, so the protocol stays at 3.
 
 ``{"op": "metrics", "id": 6}``
     The process-wide :mod:`repro.obs` registry rendered as Prometheus

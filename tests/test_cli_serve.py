@@ -139,6 +139,95 @@ class TestCacheWarmCommand:
         assert "warmed 0 cache entries" in out
 
 
+class TestStatsSummaryRendering:
+    """`repro stats` human rendering across server protocol revisions."""
+
+    V2_PAYLOAD = {
+        # A pre-v3 server: no "obs" key at all (and no scopes/histograms).
+        "ok": True,
+        "protocol_version": 2,
+        "workers": 2,
+        "workers_mode": "thread",
+        "inflight": 0,
+        "registry_entries": 1,
+        "service": {
+            "requests": 4,
+            "compiled": 2,
+            "cache_hits": 1,
+            "coalesced": 1,
+            "rejected": 0,
+            "errors": 0,
+            "coalesce_rate": 0.25,
+            "queue_depth": 0,
+            "p50_ms": 1.5,
+            "p99_ms": 3.0,
+        },
+    }
+
+    V3_PAYLOAD = {
+        **V2_PAYLOAD,
+        "protocol_version": 3,
+        "obs": {
+            "counters": {"cache.memory.hits": 3},
+            "gauges": {},
+            "histograms": {
+                'runtime.execute_seconds{backend="reference"}': {
+                    "count": 7,
+                    "p50": 0.0012,
+                },
+                "malformed.entry": "not a dict",  # must not crash rendering
+            },
+            "scopes": {
+                "runtime": {
+                    "dispatchers": 1,
+                    "memo_hits": 6,
+                    "memo_misses": 1,
+                    "memo_evictions": 0,
+                    "reselections": 2,
+                    "executions": {"reference": 7},
+                },
+                "calibration": {
+                    "entries": 3,
+                    "samples": 21,
+                    "refreshes": 2,
+                    "age_seconds": 4.2,
+                },
+            },
+        },
+    }
+
+    def test_v2_payload_renders_without_obs(self, capsys):
+        from repro.cli import _print_stats_summary
+
+        _print_stats_summary(self.V2_PAYLOAD)
+        out = capsys.readouterr().out
+        assert "protocol v2" in out
+        assert "service: requests=4" in out
+        # Degrades gracefully: no obs-derived sections, no crash.
+        assert "runtime:" not in out
+        assert "calibration:" not in out
+
+    def test_v3_payload_renders_runtime_and_calibration(self, capsys):
+        from repro.cli import _print_stats_summary
+
+        _print_stats_summary(self.V3_PAYLOAD)
+        out = capsys.readouterr().out
+        assert "protocol v3" in out
+        assert "cache:   cache.memory.hits=3" in out
+        assert "reselections=2" in out
+        assert "calibration: entries=3  samples=21  refreshes=2  age=4.2s" in out
+        assert 'backend="reference"' in out
+
+    def test_never_refreshed_calibration_renders_never(self, capsys):
+        from repro.cli import _print_stats_summary
+
+        payload = json.loads(json.dumps(self.V3_PAYLOAD))
+        payload["obs"]["scopes"]["calibration"]["age_seconds"] = None
+        _print_stats_summary(payload)
+        out = capsys.readouterr().out
+        assert "age=never" in out
+
+
 class TestServeProcessMode:
     def test_process_mode_serves_compile_and_execute(self, monkeypatch, capsys):
         responses, err = run_serve(

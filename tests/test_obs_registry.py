@@ -148,6 +148,24 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("lat", window=0)
 
+    def test_empty_window_percentile_default_is_distinguishable(self):
+        # Regression (feedback-directed dispatch): the calibrated cost
+        # model reads windowed medians as rate denominators, so "no data"
+        # must be distinguishable from a measured 0.0 sample.
+        h = Histogram("lat")
+        assert h.percentile(50) == 0.0  # stats endpoints keep answering
+        assert h.percentile(50, default=None) is None
+        assert h.percentile(99, default=-1.0) == -1.0
+        assert h.median() is None  # median defaults to None, not 0.0
+        assert h.median(default=7.0) == 7.0
+        h.observe(0.0)
+        assert h.median() == 0.0  # a genuine zero is a zero, not "no data"
+        assert percentile([], 50, default=None) is None
+
+    def test_empty_window_snapshot_still_reports_zeros(self):
+        snap = Histogram("lat").snapshot()
+        assert snap["p50"] == 0.0 and snap["p90"] == 0.0 and snap["p99"] == 0.0
+
 
 class TestMetricsRegistry:
     def test_get_or_create_is_idempotent(self):

@@ -419,3 +419,124 @@ class TestDiagnostics:
         session.compile(general_chain(4), num_training_instances=20)
         # The hit path never ran the enumerate pass: no stale pool report.
         assert "variant_pool" not in session.last_context.diagnostics
+
+
+class TestAdaptiveDPSpace:
+    """``dp-adaptive``: seeding effort sized by held-out penalty plateau."""
+
+    def test_make_space_builds_adaptive(self):
+        space = make_space("dp-adaptive", max_variants=64)
+        assert isinstance(space, DPSeededSpace)
+        assert space.adaptive is True
+        assert space.name == "dp-adaptive"
+        # The plain dp space is untouched by the instance-attr shadow.
+        assert make_space("dp").name == "dp"
+
+    def test_resolves_through_compile_options(self):
+        from repro.compiler.variant_space import resolve_space
+
+        options = CompileOptions(variant_space="dp-adaptive", max_variants=32)
+        space = resolve_space(options, general_chain(12))
+        assert isinstance(space, DPSeededSpace) and space.adaptive
+
+    def test_generate_reports_adaptive_diagnostics(self):
+        chain = general_chain(12)
+        space = DPSeededSpace(max_variants=64, num_seeds=2, adaptive=True)
+        pool = space.generate(chain, training(chain, count=80))
+        diag = space.diagnostics
+        assert diag["strategy"] == "dp-adaptive"
+        assert diag["adaptive_rounds"] == len(diag["adaptive_history"]) >= 1
+        assert diag["pool_size"] == len(pool)
+        assert diag["holdout_penalty"] > 0
+        assert diag["num_seeds"] >= 2
+        assert fanning_keys(chain) <= tree_keys(pool)
+
+    def test_growth_never_worsens_the_holdout_penalty(self):
+        chain = general_chain(12)
+        space = DPSeededSpace(max_variants=128, num_seeds=2, adaptive=True)
+        space.generate(chain, training(chain, count=80))
+        history = space.diagnostics["adaptive_history"]
+        kept = space.diagnostics["holdout_penalty"]
+        assert kept <= history[0]["holdout_penalty"]
+        assert kept == min(round_["holdout_penalty"] for round_ in history)
+
+    def test_rounds_grow_seeds_and_neighborhood(self):
+        chain = general_chain(12)
+        space = DPSeededSpace(
+            max_variants=128, num_seeds=2, neighborhood=0, adaptive=True
+        )
+        space.generate(chain, training(chain, count=80))
+        history = space.diagnostics["adaptive_history"]
+        for earlier, later in zip(history, history[1:]):
+            assert later["num_seeds"] == min(earlier["num_seeds"] * 2, 60)
+            assert later["neighborhood"] == earlier["neighborhood"] + 1
+
+    def test_max_rounds_zero_is_one_shot(self):
+        chain = general_chain(10)
+        space = DPSeededSpace(
+            max_variants=64, num_seeds=4, adaptive=True, max_rounds=0
+        )
+        space.generate(chain, training(chain, count=40))
+        assert space.diagnostics["adaptive_rounds"] == 1
+        assert space.diagnostics["num_seeds"] == 4
+
+    def test_total_plateau_tolerance_stops_after_first_probe(self):
+        chain = general_chain(10)
+        space = DPSeededSpace(
+            max_variants=64, num_seeds=2, adaptive=True, plateau_rtol=0.99
+        )
+        space.generate(chain, training(chain, count=40))
+        # Demanding a 99% improvement per round: the first grown candidate
+        # cannot qualify, so growth stops after probing it once.
+        assert space.diagnostics["adaptive_rounds"] <= 2
+
+    def test_tiny_training_set_skips_the_split(self):
+        chain = general_chain(8)
+        space = DPSeededSpace(max_variants=32, num_seeds=2, adaptive=True)
+        pool = space.generate(chain, training(chain, count=3))
+        assert len(pool) >= 1
+        assert space.diagnostics["holdout_penalty"] > 0
+
+    def test_calibrated_estimator_scores_the_holdout(self):
+        from repro.obs.registry import MetricsRegistry
+        from repro.perfmodel.feedback import CalibratedEstimator
+
+        chain = general_chain(10)
+        estimator = CalibratedEstimator(registry=MetricsRegistry())
+        space = DPSeededSpace(
+            max_variants=64, num_seeds=2, adaptive=True, estimator=estimator
+        )
+        pool = space.generate(chain, training(chain, count=40))
+        assert len(pool) >= 1
+        # Seed-rate calibrated penalties are FLOPs scaled to seconds.
+        assert 0 < space.diagnostics["holdout_penalty"] < 1e6
+
+    def test_cache_token_separates_adaptive_from_plain_dp(self):
+        plain = DPSeededSpace(max_variants=64)
+        adaptive = DPSeededSpace(max_variants=64, adaptive=True)
+        assert plain.cache_token() != adaptive.cache_token()
+        assert (
+            DPSeededSpace(max_variants=64, adaptive=True, plateau_rtol=0.05)
+            .cache_token()
+            != adaptive.cache_token()
+        )
+
+    def test_adaptive_compiles_through_the_session(self):
+        session = CompilerSession()
+        generated = session.compile(
+            general_chain(12),
+            num_training_instances=40,
+            variant_space="dp-adaptive",
+        )
+        pool = session.last_context.diagnostics["variant_pool"]
+        assert pool["strategy"] == "dp-adaptive"
+        assert pool["requested"] == "dp-adaptive"
+        assert pool["adaptive_rounds"] >= 1
+        # The selected dispatch set is a subset of the candidate pool.
+        assert 1 <= len(generated.variants) <= pool["pool_size"]
+
+    def test_adaptive_parameter_validation(self):
+        with pytest.raises(CompilationError):
+            DPSeededSpace(adaptive=True, max_rounds=-1)
+        with pytest.raises(CompilationError):
+            DPSeededSpace(adaptive=True, plateau_rtol=-0.1)
