@@ -15,10 +15,12 @@ Commands:
   entry file, or a served ``artifact`` response saved to disk) and use it
   without recompiling: describe it, dispatch on ``--sizes``, or execute on
   concrete matrices from an ``--npz`` file; ``--backend
-  {reference,blas,auto}`` picks the execution backend, and dispatching
+  {reference,blas,c,auto}`` picks the execution backend, and dispatching
   prints the compiled plan with the routine each step lowered to.
 * ``cache stats`` / ``cache clear`` / ``cache warm`` — inspect, empty, or
-  warm-validate the on-disk compilation cache.
+  warm-validate the on-disk compilation cache; ``stats`` and ``clear``
+  also cover the codegen tier (shared objects compiled by the ``c``
+  backend, ``--codegen-cache-dir``/``--codegen-cache-bytes``).
 * ``serve`` — long-lived JSON-lines compilation service
   (:mod:`repro.serve`): bounded queue, worker pool (``--workers-mode
   process`` fans compilation out to a process pool and ships artifacts
@@ -57,6 +59,32 @@ def _env_cache_dir(fallback: str | None = None) -> str | None:
     ``cache stats/clear`` default to ``.repro-cache``.
     """
     return os.environ.get("REPRO_CACHE_DIR", fallback)
+
+
+def _add_codegen_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--codegen-cache-dir",
+        default=None,
+        help="directory for shared objects compiled by the 'c' backend "
+        "(default: $REPRO_CODEGEN_CACHE_DIR or ~/.cache/repro-codegen)",
+    )
+    p.add_argument(
+        "--codegen-cache-bytes",
+        type=int,
+        default=None,
+        help="bound the codegen cache to this many bytes "
+        "(LRU-by-mtime eviction; default: $REPRO_CODEGEN_CACHE_BYTES or 64 MiB)",
+    )
+
+
+def _configure_codegen(args: argparse.Namespace) -> None:
+    """Apply the ``--codegen-cache-*`` knobs to the process-wide cache."""
+    directory = getattr(args, "codegen_cache_dir", None)
+    max_bytes = getattr(args, "codegen_cache_bytes", None)
+    if directory is not None or max_bytes is not None:
+        from repro.runtime.codegen_cache import configure_codegen_cache
+
+        configure_codegen_cache(directory=directory, max_bytes=max_bytes)
 
 
 def _make_session(args: argparse.Namespace):
@@ -165,6 +193,7 @@ def _cost_unit(runtime) -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.compiler.program import ArtifactError, CompiledProgram
 
+    _configure_codegen(args)
     try:
         program = CompiledProgram.load(args.artifact)
     except ArtifactError as exc:
@@ -226,8 +255,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime.codegen_cache import get_codegen_cache
     from repro.serve.backends import DiskBackend
 
+    _configure_codegen(args)
     disk = DiskBackend(args.cache_dir)
     if args.action == "stats":
         stats = disk.stats()
@@ -239,10 +270,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if args.verbose:
             for key in disk.keys():
                 print(f"  {key}")
+        codegen = get_codegen_cache().stats()
+        print(f"codegen directory: {codegen['directory']}")
+        print(f"codegen entries:   {codegen['entries']}")
+        print(
+            f"codegen bytes:     {codegen['total_bytes']} "
+            f"(budget {codegen['max_bytes']})"
+        )
         return 0
     if args.action == "clear":
         removed = disk.clear()
         print(f"removed {removed} cache entries from {disk.directory}")
+        codegen = get_codegen_cache()
+        removed = codegen.clear()
+        print(f"removed {removed} codegen entries from {codegen.directory}")
         return 0
     if args.action == "warm":
         from repro.compiler.session import CompilerSession
@@ -261,6 +302,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import CompileService, make_tcp_server, serve_stream
     from repro.serve.backends import default_backend
 
+    _configure_codegen(args)
     cache_backend = default_backend(
         args.cache_dir,
         max_entries=args.max_cache_entries,
@@ -585,7 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=["reference", "blas", "auto"],
+        choices=["reference", "blas", "c", "auto"],
         default=None,
         help="execution backend of the built dispatcher, recorded in the "
         "artifact (default: the session's default, i.e. reference)",
@@ -651,12 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=["reference", "blas", "auto"],
+        choices=["reference", "blas", "c", "auto"],
         default=None,
         help="execution backend: reference (numpy substrate), blas (direct "
-        "scipy.linalg.blas/lapack lowering), or auto (micro-benchmark "
-        "both per size vector, run the measured winner); default: the "
-        "backend recorded in the artifact",
+        "scipy.linalg.blas/lapack lowering), c (code-generated native "
+        "step loops, falls back to blas without a C toolchain), or auto "
+        "(micro-benchmark the candidates per size vector, run the "
+        "measured winner); default: the backend recorded in the artifact",
     )
     p.add_argument(
         "--cost-model",
@@ -666,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
         "calibrated (shipped/learned per-kernel FLOP/s); default: the "
         "model recorded in the artifact",
     )
+    _add_codegen_cache_args(p)
     p.add_argument(
         "--trace",
         default=None,
@@ -688,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--limit", type=int, default=None, help="max entries to warm (warm)"
     )
+    _add_codegen_cache_args(p)
     p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
@@ -731,7 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=["reference", "blas", "auto"],
+        choices=["reference", "blas", "c", "auto"],
         default=None,
         help="default execution backend for served compilations (per-request "
         "'backend' options override it)",
@@ -743,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default dispatcher cost model for served compilations "
         "(per-request 'cost_model' options override it)",
     )
+    _add_codegen_cache_args(p)
     p.add_argument(
         "--no-warm",
         action="store_true",

@@ -73,8 +73,10 @@ class CompileOptions:
     #: are never evicted by the bound.
     max_variants: Optional[int] = None
     #: Execution-backend strategy for the built dispatcher:
-    #: ``"reference"``, ``"blas"``, or ``"auto"`` (measured pick per memo
-    #: entry).  See :mod:`repro.runtime.backends`.  A *runtime* knob: it
+    #: ``"reference"``, ``"blas"``, ``"c"`` (code-generated native step
+    #: loops, falling back to blas without a toolchain), or ``"auto"``
+    #: (measured pick per memo entry).  See
+    #: :mod:`repro.runtime.backends`.  A *runtime* knob: it
     #: never influences which variants are selected, so it is excluded
     #: from :meth:`cache_token` — compilations differing only in backend
     #: share one cache entry and diverge in the dispatch pass.

@@ -17,9 +17,9 @@ that second half, structured for the per-request hot path:
   steady-state per-call path amortized O(1) in everything but the kernel
   work itself;
 * :mod:`repro.runtime.backends` — pluggable execution backends
-  (``reference`` and ``blas``) that lower each frozen kernel call to a
-  direct callable at plan-compile time, plus the dispatcher's measured
-  ``auto`` strategy.
+  (``reference``, ``blas``, and the code-generating ``c`` emitter) that
+  lower each frozen kernel call to a direct callable at plan-compile
+  time, plus the dispatcher's measured ``auto`` strategy.
 
 ``repro.compiler.dispatch`` and ``repro.compiler.executor`` remain as
 import shims for pre-existing call sites.
@@ -30,13 +30,20 @@ from repro.runtime.backends import (
     BLAS_LOWERED_KERNELS,
     Backend,
     BlasBackend,
+    CEmitBackend,
     FALLBACK_ROUTINE,
     LoweredKernel,
     PLAN_BACKEND_NAMES,
     REFERENCE_ROUTINE,
     ReferenceBackend,
     blas_available,
+    cemit_available,
     get_backend,
+)
+from repro.runtime.codegen_cache import (
+    CodegenCache,
+    configure_codegen_cache,
+    get_codegen_cache,
 )
 from repro.runtime.executor import (
     KernelCallConfig,
@@ -62,6 +69,8 @@ __all__ = [
     "BLAS_LOWERED_KERNELS",
     "Backend",
     "BlasBackend",
+    "CEmitBackend",
+    "CodegenCache",
     "DEFAULT_MEMO_CAPACITY",
     "CostEstimator",
     "DispatchOutcome",
@@ -73,7 +82,10 @@ __all__ = [
     "REFERENCE_ROUTINE",
     "ReferenceBackend",
     "blas_available",
+    "cemit_available",
+    "configure_codegen_cache",
     "get_backend",
+    "get_codegen_cache",
     "KernelCallConfig",
     "SizeInferencer",
     "compile_plan",

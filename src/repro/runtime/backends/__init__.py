@@ -8,9 +8,14 @@
     Direct ``scipy.linalg.blas`` / ``scipy.linalg.lapack`` calls with the
     transpose/side/triangularity algebra pre-resolved into routine flags;
     per-kernel reference fallback for configurations BLAS cannot express.
+``c``
+    Code-generates each frozen plan as one native C step loop (BLAS and
+    LAPACK reached through capsule-harvested function pointers), compiled
+    lazily and cached on disk; falls back to ``blas`` per plan when no
+    toolchain is present or a step is outside the emitter's table.
 ``auto``
     Not a plan-level backend but a dispatcher strategy: compile a plan
-    per concrete backend, micro-benchmark both once per ``(variant,
+    per concrete backend, micro-benchmark each once per ``(variant,
     sizes)`` memo entry, serve the measured winner.
 """
 
@@ -25,19 +30,21 @@ from repro.runtime.backends.blas import (
     BlasBackend,
     blas_available,
 )
+from repro.runtime.backends.cemit import CEmitBackend, cemit_available
 from repro.runtime.backends.reference import REFERENCE_ROUTINE, ReferenceBackend
 
 #: Names accepted wherever a backend strategy is selected (CompileOptions,
 #: Dispatcher, ``repro run --backend``).
-BACKEND_NAMES = ("reference", "blas", "auto")
+BACKEND_NAMES = ("reference", "blas", "c", "auto")
 
 #: Names that denote a concrete plan-level backend; ``auto`` resolves to
 #: one of these per memo entry.
-PLAN_BACKEND_NAMES = ("reference", "blas")
+PLAN_BACKEND_NAMES = ("reference", "blas", "c")
 
 _BACKENDS = {
     "reference": ReferenceBackend(),
     "blas": BlasBackend(),
+    "c": CEmitBackend(),
 }
 
 
@@ -63,11 +70,13 @@ __all__ = [
     "BLAS_LOWERED_KERNELS",
     "Backend",
     "BlasBackend",
+    "CEmitBackend",
     "FALLBACK_ROUTINE",
     "LoweredKernel",
     "PLAN_BACKEND_NAMES",
     "REFERENCE_ROUTINE",
     "ReferenceBackend",
     "blas_available",
+    "cemit_available",
     "get_backend",
 ]

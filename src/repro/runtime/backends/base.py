@@ -20,12 +20,13 @@ compiles a plan per concrete backend and serves the measured winner.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, NamedTuple
+from typing import TYPE_CHECKING, Callable, NamedTuple, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.executor import KernelCallConfig
+    from repro.runtime.plan import ExecutionPlan
 
 #: Routine label of a kernel the backend could not lower and delegated to
 #: the reference implementation instead.
@@ -45,8 +46,13 @@ class LoweredKernel(NamedTuple):
 class Backend(ABC):
     """Strategy that lowers frozen kernel calls to executable routines."""
 
-    #: The registry name (``"reference"`` or ``"blas"``).
+    #: The registry name (``"reference"``, ``"blas"``, or ``"c"``).
     name: str = ""
+
+    #: Backend name a plan should *report* when :meth:`lower_plan`
+    #: declines — ``None`` for backends whose per-step lowering is the
+    #: whole story.
+    fallback_name: Optional[str] = None
 
     @abstractmethod
     def specialize(
@@ -59,6 +65,21 @@ class Backend(ABC):
         reference-implementation :class:`LoweredKernel` labelled
         :data:`FALLBACK_ROUTINE`, keeping plan compilation total.
         """
+
+    def lower_plan(
+        self, plan: "ExecutionPlan"
+    ) -> Optional[Callable[[list[np.ndarray]], np.ndarray]]:
+        """Optionally lower a *whole* plan to one fused callable.
+
+        Called once at plan-compile time, after the per-step lowering.
+        Returning a callable replaces the plan's step loop on the
+        untraced :meth:`~repro.runtime.plan.ExecutionPlan.replay` path
+        (fix-ups still run in Python afterwards); returning ``None`` —
+        the default — keeps the per-step loop, and the plan reports
+        :attr:`fallback_name` as its backend when set.  Implementations
+        must degrade by returning ``None``, never by raising.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -235,15 +235,24 @@ def _lower_dimm(cfg: "KernelCallConfig"):
     replacing the reference backend's full dense matmul (2mn^2 FLOPs) with
     the mn the kernel actually costs.  Bit-compatible with the dense
     emulation for finite inputs: the dense sum adds exact zeros.
+
+    The diagonal operand is located by the config's ``left_diag`` /
+    ``right_diag`` flags, not by ``side``: side marks the *structured*
+    operand, which points at the wrong one when the non-diagonal operand
+    is itself structured (``L * D``, ``S * D``).  Hand-built configs
+    without the flags fall back to the side heuristic.
     """
-    side_left = cfg.side == "left"
-    g_trans = cfg.right_trans if side_left else cfg.left_trans
+    if cfg.left_diag or cfg.right_diag:
+        diag_left = cfg.left_diag
+    else:
+        diag_left = cfg.side == "left"
+    g_trans = cfg.right_trans if diag_left else cfg.left_trans
 
     def run(left, right):
-        d, g = (left, right) if side_left else (right, left)
+        d, g = (left, right) if diag_left else (right, left)
         diag = d.diagonal()
         og = g.T if g_trans else g
-        if side_left:
+        if diag_left:
             return diag[:, None] * og
         return og * diag[None, :]
 

@@ -1,0 +1,265 @@
+"""Bounded on-disk cache for code-generated plan modules.
+
+The ``c`` execution backend emits each frozen plan as C source and
+compiles it to a CPython extension.  Compilation is the only expensive
+part (~100ms per plan vs microseconds to load), so the shared objects are
+content-addressed on disk — keyed by a digest of the emitted source plus
+the interpreter ABI tag, which folds in everything that matters: the plan
+structure, the concrete sizes, every resolved flag, and the module name
+itself.  A warm deployment therefore never re-invokes the compiler: the
+second process finds ``<key>.so`` and loads it directly (asserted by the
+CI bench via the ``runtime.codegen_cache`` counters).
+
+Like the compilation disk cache (:class:`repro.serve.backends.DiskBackend`)
+the tier is *bounded*: total bytes are pruned least-recently-used by
+mtime, which a hit refreshes.  Publication is atomic (temp file +
+``os.replace``), so concurrent processes compiling the same plan race
+harmlessly — one byte-identical object wins.
+
+Knobs: ``$REPRO_CODEGEN_CACHE_DIR`` / ``--codegen-cache-dir`` relocate
+the directory (default ``~/.cache/repro-codegen``);
+``$REPRO_CODEGEN_CACHE_BYTES`` / ``--codegen-cache-bytes`` bound it.
+``repro cache stats`` reports this tier alongside the compilation cache,
+and the ``codegen`` collector scope exposes the same numbers through the
+process-wide metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.backends.toolchain import Toolchain
+
+__all__ = [
+    "DEFAULT_CODEGEN_CACHE_BYTES",
+    "CodegenCache",
+    "configure_codegen_cache",
+    "get_codegen_cache",
+]
+
+#: Default byte bound of the codegen tier.  Emitted objects are ~16-20KB
+#: each, so the default holds a few thousand distinct (plan, sizes) pairs.
+DEFAULT_CODEGEN_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def _default_directory() -> str:
+    env = os.environ.get("REPRO_CODEGEN_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-codegen")
+
+
+def _default_max_bytes() -> int:
+    env = os.environ.get("REPRO_CODEGEN_CACHE_BYTES")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_CODEGEN_CACHE_BYTES
+
+
+class CodegenCache:
+    """Content-addressed ``<key>.c`` / ``<key>.so`` pairs, LRU-by-bytes.
+
+    The ``.c`` source is kept beside the object purely as a debugging
+    artifact (and is pruned together with it); correctness only needs the
+    ``.so``.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.directory = os.path.abspath(directory or _default_directory())
+        self.max_bytes = (
+            _default_max_bytes() if max_bytes is None else max(0, int(max_bytes))
+        )
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+
+    # -- the one entry point the backend uses --------------------------------
+
+    def shared_object(
+        self, key: str, source: str, toolchain: "Toolchain"
+    ) -> str:
+        """The compiled shared object for ``key``, compiling on a miss.
+
+        Raises :class:`~repro.runtime.backends.toolchain.ToolchainError`
+        when the compiler rejects the source (the backend turns that into
+        a counted fallback, never a user-facing failure).
+        """
+        registry = get_registry()
+        so_path = os.path.join(self.directory, f"{key}.so")
+        with self._lock:
+            if os.path.isfile(so_path):
+                now = time.time()
+                try:
+                    os.utime(so_path, (now, now))
+                except OSError:
+                    pass
+                self.hits += 1
+                registry.counter("runtime.codegen_cache", outcome="hit").inc()
+                return so_path
+            self.misses += 1
+            registry.counter("runtime.codegen_cache", outcome="miss").inc()
+            os.makedirs(self.directory, exist_ok=True)
+            try:
+                with open(
+                    os.path.join(self.directory, f"{key}.c"), "w"
+                ) as handle:
+                    handle.write(source)
+            except OSError:
+                pass  # the source is a debugging aid, not a dependency
+            fd, tmp_src = tempfile.mkstemp(
+                suffix=".c", prefix=f".{key}.", dir=self.directory
+            )
+            tmp_so = tmp_src[:-2] + ".so"
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(source)
+                start = time.perf_counter()
+                toolchain.compile_shared(tmp_src, tmp_so)
+                elapsed = time.perf_counter() - start
+                # Atomic publish: a concurrent process compiling the same
+                # key replaces the file with identical bytes.
+                os.replace(tmp_so, so_path)
+            finally:
+                for leftover in (tmp_src, tmp_so):
+                    try:
+                        os.unlink(leftover)
+                    except OSError:
+                        pass
+            self.compiles += 1
+            registry.counter("runtime.codegen_compiles").inc()
+            registry.histogram(
+                "runtime.codegen_seconds", stage="compile"
+            ).observe(elapsed)
+            self._prune(protect=key)
+        return so_path
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _records(self) -> list[tuple[str, int, float]]:
+        """``(key, bytes, mtime)`` per cached object, source bytes folded
+        into its object's record so a pair prunes as one unit."""
+        records: list[tuple[str, int, float]] = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return records
+        for name in names:
+            if not name.endswith(".so") or name.startswith("."):
+                continue
+            key = name[:-3]
+            so_path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(so_path)
+            except OSError:
+                continue
+            size = stat.st_size
+            try:
+                size += os.path.getsize(
+                    os.path.join(self.directory, f"{key}.c")
+                )
+            except OSError:
+                pass
+            records.append((key, size, stat.st_mtime))
+        return records
+
+    def _unlink_pair(self, key: str) -> None:
+        for suffix in (".so", ".c"):
+            try:
+                os.unlink(os.path.join(self.directory, key + suffix))
+            except OSError:
+                pass
+
+    def _prune(self, protect: Optional[str] = None) -> None:
+        if self.max_bytes <= 0:
+            return
+        records = self._records()
+        total = sum(size for _, size, _ in records)
+        if total <= self.max_bytes:
+            return
+        registry = get_registry()
+        for key, size, _ in sorted(records, key=lambda rec: rec[2]):
+            if total <= self.max_bytes:
+                break
+            if key == protect:
+                continue
+            self._unlink_pair(key)
+            total -= size
+            self.evictions += 1
+            registry.counter("cache.evictions", tier="codegen").inc()
+
+    def clear(self) -> int:
+        """Remove every cached object; returns the number removed."""
+        with self._lock:
+            records = self._records()
+            for key, _, _ in records:
+                self._unlink_pair(key)
+            return len(records)
+
+    def stats(self) -> dict[str, object]:
+        records = self._records()
+        return {
+            "directory": self.directory,
+            "entries": len(records),
+            "total_bytes": sum(size for _, size, _ in records),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Process-wide singleton (one directory, one bound, one set of counters).
+# ---------------------------------------------------------------------------
+
+_cache: Optional[CodegenCache] = None
+_cache_lock = threading.Lock()
+
+
+def get_codegen_cache() -> CodegenCache:
+    """The process-wide codegen cache (created lazily from the env)."""
+    global _cache
+    with _cache_lock:
+        if _cache is None:
+            _cache = CodegenCache()
+        return _cache
+
+
+def configure_codegen_cache(
+    directory: Optional[str] = None, max_bytes: Optional[int] = None
+) -> CodegenCache:
+    """Point the process-wide cache somewhere else (CLI knobs, tests)."""
+    global _cache
+    with _cache_lock:
+        _cache = CodegenCache(directory=directory, max_bytes=max_bytes)
+        return _cache
+
+
+def _codegen_snapshot() -> dict[str, object]:
+    with _cache_lock:
+        cache = _cache
+    if cache is None:
+        return {"configured": False}
+    snapshot: dict[str, object] = {"configured": True}
+    snapshot.update(cache.stats())
+    return snapshot
+
+
+get_registry().register_collector("codegen", _codegen_snapshot)

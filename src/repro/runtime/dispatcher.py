@@ -63,7 +63,12 @@ from repro.errors import DispatchError
 from repro.ir.chain import Chain
 from repro.obs import get_registry
 from repro.obs import trace as obs_trace
-from repro.runtime.backends import BACKEND_NAMES, FALLBACK_ROUTINE, Backend
+from repro.runtime.backends import (
+    BACKEND_NAMES,
+    FALLBACK_ROUTINE,
+    Backend,
+    cemit_available,
+)
 from repro.runtime.executor import SizeInferencer, random_instance_arrays
 from repro.runtime.plan import ExecutionPlan, compile_plan
 
@@ -115,9 +120,11 @@ def runtime_snapshot() -> dict[str, object]:
         "reselect_checks": 0,
         "reselections": 0,
         "executions": {},
+        "auto_wins": {},
         "last_execute_seconds": None,
     }
     executions: dict[str, int] = agg["executions"]  # type: ignore[assignment]
+    auto_wins: dict[str, int] = agg["auto_wins"]  # type: ignore[assignment]
     latest = -1.0
     for dispatcher in dispatchers:
         stats = dispatcher.memo_stats()
@@ -129,6 +136,8 @@ def runtime_snapshot() -> dict[str, object]:
         agg["reselections"] += stats["reselections"]
         for name, count in stats["executions"].items():
             executions[name] = executions.get(name, 0) + count
+        for name, count in stats["auto_wins"].items():
+            auto_wins[name] = auto_wins.get(name, 0) + count
         stamp = dispatcher.last_execute_at
         if stamp is not None and stamp > latest:
             latest = stamp
@@ -203,7 +212,7 @@ class Dispatcher:
     memoization, restoring a full cost sweep per call.
 
     ``backend`` is a registered strategy name (``reference``/``blas``/
-    ``auto``) or a concrete :class:`~repro.runtime.backends.Backend`
+    ``c``/``auto``) or a concrete :class:`~repro.runtime.backends.Backend`
     instance (synthetic machines in benchmarks, custom lowerings).
 
     ``reselect_ratio`` enables feedback-directed re-selection (module
@@ -250,6 +259,9 @@ class Dispatcher:
         #: executed instances per concrete plan backend (observability for
         #: the ``auto`` strategy; see :meth:`memo_stats`)
         self.backend_executions: dict[str, int] = {}
+        #: ``auto`` tournament verdicts per winning backend — how often
+        #: each concrete lowering won a memo entry's micro-benchmark
+        self.auto_wins: dict[str, int] = {}
         #: wall-clock seconds of the most recent run()/execute_many replay
         self.last_execute_seconds: Optional[float] = None
         #: monotonic stamp of that replay (lets aggregators order
@@ -595,26 +607,35 @@ class Dispatcher:
         return plan
 
     def _auto_plan(self, entry: _MemoEntry, q: tuple[int, ...]) -> ExecutionPlan:
-        """Measure both concrete lowerings of this entry, keep the winner.
+        """Measure every concrete lowering of this entry, keep the winner.
 
         The micro-benchmark replays each lowered plan ``AUTO_BENCH_REPS``
         times on one synthetic instance and takes the best time; the cost
         is paid once per ``(variant, sizes)`` memo entry and the verdict
-        is cached alongside the plan (:attr:`_MemoEntry.bench`).  When the
-        blas lowering is pure fallback the plans are identical callables,
-        so reference wins without measuring.
+        is cached alongside the plan (:attr:`_MemoEntry.bench`, with the
+        per-backend win tallied in :attr:`auto_wins`).  When the blas
+        lowering is pure fallback the plans are identical callables, so
+        reference wins without measuring.  The ``c`` lowering joins the
+        tournament only when the host can actually emit native plans
+        *and* this plan did not fall back (a fallen-back c plan is the
+        blas plan with extra codegen attempts).
         """
         ref_plan = compile_plan(entry.variant, q, backend="reference")
         blas_plan = compile_plan(entry.variant, q, backend="blas")
         if not blas_plan.step_routines or all(
             routine == FALLBACK_ROUTINE for routine in blas_plan.step_routines
         ):
+            self._record_auto_win("reference")
             return ref_plan
+        candidates = {"reference": ref_plan, "blas": blas_plan}
+        if cemit_available():
+            c_plan = compile_plan(entry.variant, q, backend="c")
+            if c_plan.backend == "c":
+                candidates["c"] = c_plan
         arrays = random_instance_arrays(
             entry.variant.chain, q, np.random.default_rng(0)
         )
         bench: dict[str, float] = {}
-        candidates = {"reference": ref_plan, "blas": blas_plan}
         for name, plan in candidates.items():
             best = float("inf")
             for _ in range(AUTO_BENCH_REPS):
@@ -624,7 +645,12 @@ class Dispatcher:
             bench[name] = best
         winner = min(bench, key=bench.get)
         entry.bench = bench
+        self._record_auto_win(winner)
         return candidates[winner]
+
+    def _record_auto_win(self, name: str) -> None:
+        with self._memo_lock:
+            self.auto_wins[name] = self.auto_wins.get(name, 0) + 1
 
     def costs(self, sizes: Sequence[int]) -> list[tuple[str, float]]:
         """Estimated cost of every variant (for inspection/debugging)."""
@@ -973,6 +999,7 @@ class Dispatcher:
                 "reselect_checks": self.reselect_checks,
                 "reselections": self.reselections,
                 "executions": dict(self.backend_executions),
+                "auto_wins": dict(self.auto_wins),
                 "last_execute_seconds": self.last_execute_seconds,
             }
 

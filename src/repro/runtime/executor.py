@@ -45,6 +45,18 @@ class KernelCallConfig:
     right_trans: bool
     left_lower: Optional[bool]
     right_lower: Optional[bool]
+    #: Which operand is stored diagonal.  ``side`` marks the *structured*
+    #: operand generically, which is ambiguous for DIMM when the other
+    #: operand is structured too (``L * D`` and ``S * D`` both assign
+    #: side="left" to the non-diagonal operand) — these flags let sided
+    #: lowerings locate the diagonal exactly.  Default ``False`` keeps
+    #: hand-built configs (tests, custom backends) on the side heuristic.
+    left_diag: bool = False
+    right_diag: bool = False
+
+
+def _stored_diag(state: "OperandState") -> bool:
+    return state.stored_structure is Structure.DIAGONAL
 
 
 def _stored_lower(state: "OperandState") -> Optional[bool]:
@@ -219,6 +231,8 @@ def execute_variant(
             right_trans=step.right_state.transposed,
             left_lower=_stored_lower(step.left_state),
             right_lower=_stored_lower(step.right_state),
+            left_diag=_stored_diag(step.left_state),
+            right_diag=_stored_diag(step.right_state),
         )
         left = values[step.left_ref]
         right = values[step.right_ref]

@@ -32,6 +32,7 @@ from repro.errors import ExecutionError
 from repro.runtime.backends import Backend, get_backend
 from repro.runtime.executor import (
     KernelCallConfig,
+    _stored_diag,
     _stored_lower,
     expected_stored_shapes,
     resolve_fixup,
@@ -78,6 +79,7 @@ class ExecutionPlan:
         "_ops",
         "_fixups",
         "_num_inputs",
+        "_native",
     )
 
     def __init__(
@@ -119,6 +121,8 @@ class ExecutionPlan:
                 right_trans=step.right_state.transposed,
                 left_lower=_stored_lower(step.left_state),
                 right_lower=_stored_lower(step.right_state),
+                left_diag=_stored_diag(step.left_state),
+                right_diag=_stored_diag(step.right_state),
             )
             configs.append(cfg)
             # The config is baked into the callable: transposes, sides,
@@ -137,6 +141,13 @@ class ExecutionPlan:
         self.step_routines: tuple[str, ...] = tuple(routines)
         self._ops: tuple[PlanOp, ...] = tuple(ops)
         self._fixups = _resolve_fixups(variant)
+        # Whole-plan lowering (the ``c`` backend): one fused native call
+        # replacing the step loop on the untraced replay path.  A backend
+        # that declines (no toolchain, unsupported step, ...) returns
+        # None, and the plan reports the backend it actually runs on.
+        self._native = resolved.lower_plan(self)
+        if self._native is None and resolved.fallback_name:
+            self.backend = resolved.fallback_name
 
     def validate(self, arrays: Sequence[np.ndarray]) -> None:
         """Assert the stored arrays match this plan's instance shapes."""
@@ -174,6 +185,11 @@ class ExecutionPlan:
         this via size inference); the list is extended in place with the
         intermediate buffers, so the caller must hand over ownership.
         """
+        if self._native is not None:
+            result = self._native(values)
+            for fixup in self._fixups:
+                result = fixup(result)
+            return result
         values.extend([None] * len(self._ops))
         result: Optional[np.ndarray] = None
         for impl, left, right, out in self._ops:
@@ -205,6 +221,11 @@ class ExecutionPlan:
         histogram update between kernel calls.  This is the *traced*
         replay path — the dispatcher only takes it while tracing is
         enabled, so the plain :meth:`replay` loop stays clock-free.
+
+        A natively-lowered plan (the ``c`` backend) deliberately does
+        *not* take its fused call here: per-step timing is the entire
+        point of tracing, and every native plan also carries the blas
+        per-step lowering, so the traced loop below stays meaningful.
         """
         values.extend([None] * len(self._ops))
         result: Optional[np.ndarray] = None
@@ -228,6 +249,10 @@ class ExecutionPlan:
             f"execution plan for {self.variant.name or '<anonymous>'} "
             f"at q={list(self.sizes)} [backend={self.backend}]"
         ]
+        if self._native is not None:
+            lines.append(
+                "  native: fused code-generated step loop (replay path)"
+            )
         for step, (_, left, right, out), cfg, routine in zip(
             self.variant.steps, self._ops, self.call_configs, self.step_routines
         ):

@@ -1,0 +1,489 @@
+"""The C-emitter backend: native lowering, parity, fallback, codegen cache.
+
+The ``c`` backend code-generates each frozen execution plan as a CPython
+extension whose single native function walks the step list through BLAS/
+LAPACK function pointers.  Three properties matter and are tested here:
+
+* **Parity** — a natively lowered plan produces the same numbers as the
+  per-step blas lowering (tight tolerance) and the reference backend
+  (routine-level reassociation tolerance), across the kernel table.
+* **Graceful degradation** — no compiler, no capsules, or an unsupported
+  step must silently fall back to ``blas`` (the plan reports the backend
+  it actually runs on) while counting the reason in
+  ``runtime.codegen_fallbacks``.
+* **Bounded codegen cache** — shared objects persist across processes in
+  an LRU-by-bytes on-disk cache with hit/miss/eviction accounting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import compile_chain
+from repro.obs import get_registry
+from repro.runtime import (
+    blas_available,
+    cemit_available,
+    naive_evaluate,
+    random_instance_arrays,
+)
+from repro.runtime.backends import cemit
+from repro.runtime.backends.toolchain import (
+    discover_toolchain,
+    reset_toolchain_cache,
+)
+from repro.runtime.codegen_cache import CodegenCache
+
+needs_blas = pytest.mark.skipif(
+    not blas_available(), reason="scipy BLAS/LAPACK routines unavailable"
+)
+needs_cemit = pytest.mark.skipif(
+    not cemit_available(),
+    reason="C toolchain or scipy cython capsules unavailable",
+)
+
+
+def _fallback_count(reason: str) -> int:
+    return get_registry().counter(
+        "runtime.codegen_fallbacks", reason=reason
+    ).value
+
+
+# ---------------------------------------------------------------------------
+# Numerical equivalence across the kernel table
+# ---------------------------------------------------------------------------
+
+#: (id, source) — one chain per emitter family, plus transposed/side
+#: variants that exercise the flag algebra (trans/side/uplo resolved to
+#: constants at emit time).
+PARITY_CHAINS = [
+    (
+        "gemm",
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "Matrix C <General, Singular>; R := A * B * C;",
+    ),
+    (
+        "gemm_trans",
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "Matrix C <General, Singular>; R := A^T * B * C^T;",
+    ),
+    (
+        "symm_left",
+        "Matrix S <Symmetric, NonSingular>; Matrix B <General, Singular>; "
+        "R := S * B;",
+    ),
+    (
+        "symm_right",
+        "Matrix S <Symmetric, NonSingular>; Matrix B <General, Singular>; "
+        "R := B * S;",
+    ),
+    (
+        "trmm_upper",
+        "Matrix U <UpperTri, NonSingular>; Matrix B <General, Singular>; "
+        "R := U * B;",
+    ),
+    (
+        "trmm_right_trans",
+        "Matrix U <UpperTri, NonSingular>; Matrix B <General, Singular>; "
+        "R := B * U^T;",
+    ),
+    (
+        "ldlt",
+        "Matrix L <LowerTri, NonSingular>; Matrix D <Diagonal, NonSingular>; "
+        "Matrix B <General, Singular>; R := L * D * L^T * B;",
+    ),
+    (
+        "dimm_right",
+        "Matrix D <Diagonal, NonSingular>; Matrix B <General, Singular>; "
+        "R := B * D;",
+    ),
+    (
+        "diag_sym",
+        "Matrix D <Diagonal, NonSingular>; Matrix S <Symmetric, NonSingular>; "
+        "R := D * S;",
+    ),
+    (
+        "sym_diag",
+        "Matrix D <Diagonal, NonSingular>; Matrix S <Symmetric, NonSingular>; "
+        "R := S * D;",
+    ),
+    (
+        "didimm",
+        "Matrix D <Diagonal, NonSingular>; Matrix E <Diagonal, NonSingular>; "
+        "R := D * E;",
+    ),
+    (
+        "spd_solve",
+        "Matrix P <Symmetric, SPD>; Matrix B <General, Singular>; "
+        "R := P^-1 * B;",
+    ),
+    (
+        "spd_solve_right",
+        "Matrix P <Symmetric, SPD>; Matrix B <General, Singular>; "
+        "R := B * P^-1;",
+    ),
+    (
+        "sym_solve",
+        "Matrix S <Symmetric, NonSingular>; Matrix B <General, Singular>; "
+        "R := S^-1 * B;",
+    ),
+    (
+        "gen_solve",
+        "Matrix A <General, NonSingular>; Matrix B <General, Singular>; "
+        "R := A^-1 * B;",
+    ),
+    (
+        "gen_solve_trans",
+        "Matrix A <General, NonSingular>; Matrix B <General, Singular>; "
+        "R := A^-T * B;",
+    ),
+    (
+        "gen_solve_right",
+        "Matrix A <General, NonSingular>; Matrix B <General, Singular>; "
+        "R := B * A^-1;",
+    ),
+    (
+        "tri_solve",
+        "Matrix L <LowerTri, NonSingular>; Matrix B <General, Singular>; "
+        "R := L^-1 * B;",
+    ),
+    (
+        "tri_solve_right_trans",
+        "Matrix L <LowerTri, NonSingular>; Matrix B <General, Singular>; "
+        "R := B * L^-T;",
+    ),
+]
+
+
+def _plan_for(source: str, backend: str, sizes=None):
+    gen = compile_chain(source, num_training_instances=10, use_cache=False)
+    chain = gen.program.chain
+    q = sizes or [13] * (chain.n + 1)
+    runtime = gen.program.runtime(backend=backend)
+    _, _, plan = runtime.plan_for(q)
+    return chain, q, plan
+
+
+@needs_cemit
+@pytest.mark.parametrize(
+    "source", [src for _, src in PARITY_CHAINS], ids=[k for k, _ in PARITY_CHAINS]
+)
+def test_native_parity_across_kernel_table(source):
+    chain, q, c_plan = _plan_for(source, "c")
+    assert c_plan.backend == "c", "expected a native lowering, got a fallback"
+    _, _, blas_plan = _plan_for(source, "blas")
+    _, _, ref_plan = _plan_for(source, "reference")
+    arrays = random_instance_arrays(chain, q, np.random.default_rng(0))
+    pristine = [a.copy() for a in arrays]
+    got = c_plan.execute(arrays)
+    via_blas = blas_plan.execute([a.copy() for a in pristine])
+    via_ref = ref_plan.execute([a.copy() for a in pristine])
+    # Same routines, same flags, same arithmetic: near-bitwise vs blas.
+    np.testing.assert_allclose(got, via_blas, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(got, via_ref, rtol=1e-7, atol=1e-8)
+    # Operands are never mutated (solves copy coefficients to scratch).
+    for orig, after in zip(pristine, arrays):
+        np.testing.assert_array_equal(orig, after)
+
+
+@needs_cemit
+def test_native_plan_accepts_noncontiguous_inputs():
+    source = PARITY_CHAINS[0][1]
+    chain, q, plan = _plan_for(source, "c")
+    arrays = random_instance_arrays(chain, q, np.random.default_rng(3))
+    strided = [np.asfortranarray(a) for a in arrays]
+    got = plan.execute(strided)
+    expected = naive_evaluate(chain, arrays)
+    np.testing.assert_allclose(got, expected, rtol=1e-7, atol=1e-8)
+
+
+@needs_cemit
+def test_native_result_is_fresh_per_call():
+    source = PARITY_CHAINS[0][1]
+    chain, q, plan = _plan_for(source, "c")
+    arrays = random_instance_arrays(chain, q, np.random.default_rng(4))
+    first = plan.execute(arrays)
+    second = plan.execute(arrays)
+    assert first is not second
+    np.testing.assert_array_equal(first, second)
+
+
+@needs_cemit
+def test_describe_reports_native_path():
+    _, _, plan = _plan_for(PARITY_CHAINS[0][1], "c")
+    assert "native: fused code-generated step loop" in plan.describe()
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+@needs_blas
+def test_no_toolchain_falls_back_to_blas(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_CC", "1")
+    reset_toolchain_cache()
+    try:
+        assert discover_toolchain() is None
+        assert not cemit_available()
+        before = _fallback_count("no-toolchain")
+        chain, q, plan = _plan_for(PARITY_CHAINS[0][1], "c")
+        assert plan.backend == "blas"
+        assert _fallback_count("no-toolchain") == before + 1
+        arrays = random_instance_arrays(chain, q, np.random.default_rng(1))
+        expected = naive_evaluate(chain, arrays)
+        np.testing.assert_allclose(plan.execute(arrays), expected, rtol=1e-7)
+    finally:
+        monkeypatch.delenv("REPRO_DISABLE_CC")
+        reset_toolchain_cache()
+
+
+@needs_blas
+def test_no_capsules_falls_back_to_blas(monkeypatch):
+    monkeypatch.setattr(cemit, "_harvest_addresses", lambda: None)
+    before = _fallback_count("no-capsules")
+    _, _, plan = _plan_for(PARITY_CHAINS[0][1], "c")
+    assert plan.backend == "blas"
+    assert _fallback_count("no-capsules") == before + 1
+
+
+@needs_cemit
+def test_unsupported_step_falls_back_to_blas():
+    # A diagonal coefficient solve has no emitter (DIGESV family).
+    source = (
+        "Matrix D <Diagonal, NonSingular>; Matrix B <General, Singular>; "
+        "R := D^-1 * B;"
+    )
+    before = _fallback_count("unsupported-step")
+    chain, q, plan = _plan_for(source, "c")
+    assert plan.backend == "blas"
+    assert _fallback_count("unsupported-step") == before + 1
+    arrays = random_instance_arrays(chain, q, np.random.default_rng(2))
+    expected = naive_evaluate(chain, arrays)
+    np.testing.assert_allclose(plan.execute(arrays), expected, rtol=1e-7)
+
+
+@needs_blas
+def test_compile_error_falls_back_to_blas(tmp_path, monkeypatch):
+    from repro.runtime.backends import toolchain as tc_mod
+
+    toolchain = discover_toolchain()
+    if toolchain is None:
+        pytest.skip("no C toolchain")
+
+    def broken(self, source, out_path):
+        raise tc_mod.ToolchainError("simulated compiler failure")
+
+    monkeypatch.setattr(tc_mod.Toolchain, "compile_shared", broken)
+    cache = CodegenCache(directory=str(tmp_path))
+    monkeypatch.setattr(cemit, "get_codegen_cache", lambda: cache)
+    before = _fallback_count("compile-error")
+    _, _, plan = _plan_for(PARITY_CHAINS[0][1], "c")
+    assert plan.backend == "blas"
+    assert _fallback_count("compile-error") == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Bounded on-disk codegen cache
+# ---------------------------------------------------------------------------
+
+
+def _toolchain_or_skip():
+    toolchain = discover_toolchain()
+    if toolchain is None:
+        pytest.skip("no C toolchain")
+    return toolchain
+
+
+def test_codegen_cache_miss_then_hit(tmp_path):
+    toolchain = _toolchain_or_skip()
+    cache = CodegenCache(directory=str(tmp_path))
+    source = "double cg_probe_value = 42.0;\n"
+    first = cache.shared_object("probe", source, toolchain)
+    assert os.path.exists(first)
+    second = cache.shared_object("probe", source, toolchain)
+    assert second == first
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    assert stats["compiles"] == 1
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+
+
+def test_codegen_cache_lru_eviction_by_bytes(tmp_path):
+    toolchain = _toolchain_or_skip()
+    probe = CodegenCache(directory=str(tmp_path / "probe"))
+    so = probe.shared_object("probe", "double cg_probe_size = 1.0;\n", toolchain)
+    one = os.path.getsize(so)
+    # Room for about two objects: inserting a third evicts the oldest.
+    cache = CodegenCache(directory=str(tmp_path / "lru"), max_bytes=2 * one + one // 2)
+    for i in range(3):
+        cache.shared_object(f"obj{i}", f"double cg_v{i} = {i}.0;\n", toolchain)
+    stats = cache.stats()
+    assert stats["evictions"] >= 1
+    assert stats["total_bytes"] <= cache.max_bytes
+    # The just-inserted key is always protected from its own pruning.
+    again = cache.shared_object("obj2", "double cg_v2 = 2.0;\n", toolchain)
+    assert os.path.exists(again)
+    assert cache.stats()["hits"] == 1
+
+
+def test_codegen_cache_clear(tmp_path):
+    toolchain = _toolchain_or_skip()
+    cache = CodegenCache(directory=str(tmp_path))
+    cache.shared_object("probe", "double cg_probe_clear = 7.0;\n", toolchain)
+    assert cache.clear() == 1
+    assert cache.stats()["entries"] == 0
+
+
+@needs_cemit
+def test_fresh_plan_hits_disk_cache_without_recompiling(tmp_path, monkeypatch):
+    cache = CodegenCache(directory=str(tmp_path))
+    monkeypatch.setattr(cemit, "get_codegen_cache", lambda: cache)
+    source = (
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "R := A * B;"
+    )
+    _, _, first = _plan_for(source, "c", sizes=[9, 10, 11])
+    assert first.backend == "c"
+    assert cache.stats()["compiles"] == 1
+    # A second plan build (fresh ExecutionPlan, same emitted module) must
+    # come out of the disk cache: zero additional compiler invocations.
+    _, _, again = _plan_for(source, "c", sizes=[9, 10, 11])
+    assert again.backend == "c"
+    stats = cache.stats()
+    assert stats["compiles"] == 1
+    assert stats["hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Plumbing: artifacts, auto tournament, CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def restore_global_codegen_cache():
+    """Undo ``configure_codegen_cache`` calls made through the CLI knobs."""
+    from repro.runtime import codegen_cache as cc_mod
+
+    with cc_mod._cache_lock:
+        saved = cc_mod._cache
+    yield
+    with cc_mod._cache_lock:
+        cc_mod._cache = saved
+
+
+def test_artifact_roundtrip_records_c_backend(tmp_path):
+    from repro.compiler.program import CompiledProgram
+
+    source = (
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "Matrix C <General, Singular>; R := A * B * C;"
+    )
+    gen = compile_chain(
+        source, num_training_instances=10, backend="c", use_cache=False
+    )
+    path = tmp_path / "prog.json"
+    gen.save(path)
+    program = CompiledProgram.load(path)
+    assert program.options.get("backend") == "c"
+    runtime = program.runtime()  # resolves to the recorded backend
+    q = [7, 8, 9, 10]
+    _, _, plan = runtime.plan_for(q)
+    # Native when the host can emit, silently blas otherwise.
+    assert plan.backend == ("c" if cemit_available() else "blas")
+    arrays = random_instance_arrays(
+        program.chain, q, np.random.default_rng(5)
+    )
+    expected = naive_evaluate(program.chain, arrays)
+    np.testing.assert_allclose(plan.execute(arrays), expected, rtol=1e-7)
+
+
+@needs_cemit
+def test_auto_tournament_includes_c_and_records_wins():
+    source = (
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "Matrix C <General, Singular>; R := A * B * C;"
+    )
+    gen = compile_chain(
+        source, num_training_instances=10, backend="auto", use_cache=False
+    )
+    runtime = gen.program.runtime()
+    q = [12, 12, 12, 12]
+    arrays = random_instance_arrays(gen.program.chain, q, np.random.default_rng(6))
+    runtime.run(arrays)
+    entry = runtime._memo[tuple(q)]
+    assert set(entry.bench) == {"reference", "blas", "c"}
+    stats = runtime.memo_stats()
+    assert stats["auto_wins"]
+    assert sum(stats["auto_wins"].values()) == 1
+    assert entry.backend in stats["auto_wins"]
+
+
+def test_cli_accepts_c_backend(tmp_path, capsys, restore_global_codegen_cache):
+    from repro.cli import main
+
+    source = (
+        "Matrix A <General, Singular>; Matrix B <General, Singular>; "
+        "R := A * B;"
+    )
+    artifact = tmp_path / "prog.json"
+    assert (
+        main(
+            [
+                "compile",
+                "--source",
+                source,
+                "--train",
+                "10",
+                "--backend",
+                "c",
+                "--output",
+                str(artifact),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "run",
+                str(artifact),
+                "--sizes",
+                "6,7,8",
+                "--codegen-cache-dir",
+                str(tmp_path / "cg"),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "backend=c" in out or "backend=blas" in out
+    if cemit_available():
+        assert "backend=c" in out
+
+
+def test_cli_cache_stats_reports_codegen_tier(tmp_path, capsys, restore_global_codegen_cache):
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "cache",
+                "stats",
+                "--cache-dir",
+                str(tmp_path / "compile-cache"),
+                "--codegen-cache-dir",
+                str(tmp_path / "cg"),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "codegen directory:" in out
+    assert "codegen entries:   0" in out
