@@ -48,6 +48,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 
 import numpy as np
 
@@ -343,15 +344,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("process pool ready", file=sys.stderr)
     if service.warmed:
         print(f"warmed {service.warmed} cache entries", file=sys.stderr)
+    use_async = getattr(args, "async_frontend", False) or (
+        getattr(args, "http_port", None) is not None
+    )
     try:
-        if args.port is not None:
+        if use_async:
+            from repro.serve import make_async_server
+
+            server = make_async_server(
+                service,
+                args.host,
+                args.port if args.port is not None else 0,
+                http_port=args.http_port,
+            )
+            server.start()
+            host, port = server.address
+            print(
+                f"serving JSON-lines (asyncio) on {host}:{port}",
+                file=sys.stderr,
+            )
+            if server.http_address is not None:
+                hhost, hport = server.http_address
+                print(
+                    f"serving HTTP POST on http://{hhost}:{hport}/",
+                    file=sys.stderr,
+                )
+            try:
+                threading.Event().wait()  # until KeyboardInterrupt
+            finally:
+                server.close()
+        elif args.port is not None:
             server = make_tcp_server(service, args.host, args.port)
             host, port = server.address
             print(f"serving JSON-lines on {host}:{port}", file=sys.stderr)
             try:
                 server.serve_forever()
             finally:
-                server.server_close()
+                server.close()
         else:
             serve_stream(
                 service,
@@ -407,6 +436,20 @@ def _print_stats_summary(stats: dict) -> None:
     ]
     if cache_counters:
         print("cache:   " + "  ".join(cache_counters))
+    wire_counters = [
+        f"{key}={value}"
+        for key, value in sorted((obs.get("counters") or {}).items())
+        if key.startswith("serve.wire_bytes")
+    ]
+    if wire_counters:
+        print("wire:    " + "  ".join(wire_counters))
+    connections = [
+        f"{key}={int(value)}"
+        for key, value in sorted((obs.get("gauges") or {}).items())
+        if key.startswith("serve.connections")
+    ]
+    if connections:
+        print("conns:   " + "  ".join(connections))
     runtime = (obs.get("scopes") or {}).get("runtime")
     if runtime:
         print(
@@ -796,6 +839,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--port", type=int, default=None, help="serve TCP on this port")
     p.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p.add_argument(
+        "--async",
+        dest="async_frontend",
+        action="store_true",
+        help="serve the JSON-lines protocol from one asyncio event loop "
+        "instead of a thread per connection (scales to thousands of "
+        "mostly-idle connections; use with --port, 0 picks a free port)",
+    )
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="additionally accept HTTP/1.1 POSTs of JSON request bodies "
+        "on this port (implies --async; 0 picks a free port)",
+    )
     p.add_argument(
         "--max-requests",
         type=int,

@@ -430,6 +430,28 @@ def specialize_kernel(name, cfg):
     return run
 
 
+def specialize_kernel_out(name, cfg):
+    """An out-parameter variant of :func:`specialize_kernel`, or ``None``.
+
+    Product kernels lower to ``np.matmul(..., out=out)`` — the same BLAS
+    dgemm as the allocating form, writing into a caller-owned buffer (an
+    arena slot or the final ``out=``) instead of a fresh array.  ``out``
+    must not alias either operand (numpy leaves overlapping ``matmul``
+    outputs undefined); plan arenas guarantee that by construction.
+    Solve kernels answer ``None`` — their scipy solvers allocate
+    internally, so an out buffer would only add a copy.
+    """
+    if name not in PRODUCT_KERNELS:
+        return None
+    if cfg.left_trans and cfg.right_trans:
+        return lambda left, right, out: np.matmul(left.T, right.T, out=out)
+    if cfg.left_trans:
+        return lambda left, right, out: np.matmul(left.T, right, out=out)
+    if cfg.right_trans:
+        return lambda left, right, out: np.matmul(left, right.T, out=out)
+    return lambda left, right, out: np.matmul(left, right, out=out)
+
+
 #: name -> callable(stored_left, stored_right, call_config) -> result array.
 #: Derived from PRODUCT_KERNELS / SOLVER_BY_KERNEL so the generic path and
 #: plan-time specialization (specialize_kernel) share one family table:

@@ -131,6 +131,13 @@ class Gauge:
         with self._lock:
             self._value = value
 
+    def add(self, delta: float) -> None:
+        """Adjust the stored value by ``delta`` (counts that go both ways,
+        e.g. live connections).  Meaningless while a probe is installed —
+        probes win over the stored value."""
+        with self._lock:
+            self._value += delta
+
     def set_probe(self, probe: Optional[Callable[[], float]]) -> None:
         with self._lock:
             self._probe = probe

@@ -55,7 +55,7 @@ from repro.runtime.executor import (
     random_instance_arrays,
     random_matrix,
 )
-from repro.runtime.plan import ExecutionPlan, compile_plan
+from repro.runtime.plan import ExecutionPlan, PlanArena, compile_plan
 from repro.runtime.dispatcher import (
     DEFAULT_MEMO_CAPACITY,
     CostEstimator,
@@ -76,6 +76,7 @@ __all__ = [
     "DispatchOutcome",
     "Dispatcher",
     "ExecutionPlan",
+    "PlanArena",
     "FALLBACK_ROUTINE",
     "LoweredKernel",
     "PLAN_BACKEND_NAMES",

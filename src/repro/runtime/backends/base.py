@@ -66,6 +66,20 @@ class Backend(ABC):
         :data:`FALLBACK_ROUTINE`, keeping plan compilation total.
         """
 
+    def specialize_out(
+        self, kernel_name: str, cfg: "KernelCallConfig"
+    ) -> Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]]:
+        """Optionally lower one kernel call to an out-parameter form.
+
+        The returned callable computes ``(left, right)`` into the
+        caller-owned ``out`` buffer (never aliasing an operand) and
+        returns it — what :class:`~repro.runtime.plan.PlanArena`-backed
+        warm replays use to run allocation-free.  ``None`` — the default
+        — means "no in-place form for this kernel/config"; the plan then
+        keeps the allocating implementation for that step.
+        """
+        return None
+
     def lower_plan(
         self, plan: "ExecutionPlan"
     ) -> Optional[Callable[[list[np.ndarray]], np.ndarray]]:

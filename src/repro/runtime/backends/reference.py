@@ -32,3 +32,8 @@ class ReferenceBackend(Backend):
         return LoweredKernel(
             reference.specialize_kernel(kernel_name, cfg), REFERENCE_ROUTINE
         )
+
+    def specialize_out(self, kernel_name: str, cfg: "KernelCallConfig"):
+        # Product kernels write into the arena slot through the same BLAS
+        # matmul (np.matmul out=); solves keep their allocating solvers.
+        return reference.specialize_kernel_out(kernel_name, cfg)

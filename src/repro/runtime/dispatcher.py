@@ -84,6 +84,11 @@ DEFAULT_MEMO_CAPACITY = 512
 #: Replays per backend when ``auto`` micro-benchmarks a memo entry.
 AUTO_BENCH_REPS = 2
 
+#: Idle :class:`~repro.runtime.plan.PlanArena` objects kept per memo
+#: entry — bounds the buffer memory pooled for concurrent
+#: ``run(reuse_buffers=True)`` replays of one (variant, sizes) decision.
+ARENA_POOL_CAP = 8
+
 #: Executions of a memo entry before its first measured-vs-predicted
 #: disagreement check (subsequent checks back off exponentially).
 DEFAULT_RESELECT_MIN_EXECUTIONS = 8
@@ -171,6 +176,7 @@ class _MemoEntry:
         "backend",
         "bench",
         "kernel_hists",
+        "arenas",
         "executions",
         "measured_ema",
         "next_check",
@@ -192,6 +198,12 @@ class _MemoEntry:
         self.kernel_hists: Optional[
             tuple[tuple[Callable[[float], None], Callable[[float], None], float], ...]
         ] = None
+        #: Idle intermediate-buffer arenas for the compiled plan
+        #: (:class:`~repro.runtime.plan.PlanArena`).  Checked out one per
+        #: in-flight ``run(reuse_buffers=True)`` replay under the memo
+        #: lock — an arena never backs two replays at once — and
+        #: invalidated together with the plan they were shaped for.
+        self.arenas: list = []
         #: Feedback bookkeeping (re-selection): replays of this entry,
         #: EMA of measured replay seconds, next disagreement checkpoint.
         self.executions = 0
@@ -366,6 +378,7 @@ class Dispatcher:
                 entry.backend = None
                 entry.bench = None
                 entry.kernel_hists = None
+                entry.arenas = []
 
     def _invalidate(self) -> None:
         with self._memo_lock:
@@ -715,7 +728,32 @@ class Dispatcher:
             self._exec_hists[backend] = observe
         observe(elapsed)
 
-    def run(self, arrays: Sequence[np.ndarray]) -> DispatchOutcome:
+    def _checkout_arena(self, entry: _MemoEntry, plan: ExecutionPlan):
+        """An idle arena for this plan, or ``None`` (cold plan / no gain)."""
+        with self._memo_lock:
+            if entry.arenas:
+                return entry.arenas.pop()
+        return plan.new_arena()
+
+    def _release_arena(self, entry: _MemoEntry, plan: ExecutionPlan, arena) -> None:
+        """Return a checked-out arena to the entry's idle pool.
+
+        Dropped (garbage-collected) instead when the plan was invalidated
+        mid-replay — the arena's buffer shapes belong to the old plan —
+        or when the pool already holds enough for the realistic replay
+        concurrency.
+        """
+        with self._memo_lock:
+            if entry.plan is plan and len(entry.arenas) < ARENA_POOL_CAP:
+                entry.arenas.append(arena)
+
+    def run(
+        self,
+        arrays: Sequence[np.ndarray],
+        *,
+        out: Optional[np.ndarray] = None,
+        reuse_buffers: bool = False,
+    ) -> DispatchOutcome:
         """Dispatch and execute one instance; returns the full outcome.
 
         Sizes are inferred (and thereby validated) exactly once; the
@@ -724,15 +762,38 @@ class Dispatcher:
         call into per-``(kernel, routine)`` histograms and emits a
         ``runtime.run`` span; disabled, the only extra work over the plain
         replay is one histogram observe of the already-measured elapsed.
+
+        ``reuse_buffers=True`` runs warm replays on pooled intermediate
+        buffers (:class:`~repro.runtime.plan.PlanArena`, checked out per
+        replay so concurrency stays safe): the first replay of a plan
+        runs normally and records its buffer shapes, every later one
+        skips the per-step ``np.empty`` calls.  ``out`` receives the
+        result in a caller-owned buffer (shape ``plan.result_shape``,
+        must not alias an operand) — together they make a warm replay
+        allocation-free.  Both default off; the default call is
+        byte-for-byte the historical fast path.
         """
         values = [np.asarray(a, dtype=np.float64) for a in arrays]
         sizes = self._infer.infer(values)
         entry = self._select_entry(sizes)
         plan = self._entry_plan(entry, sizes)
+        arena = None
+        if reuse_buffers and not obs_trace._enabled:
+            arena = self._checkout_arena(entry, plan)
         if not obs_trace._enabled:  # module flag: zero-allocation fast path
             start = time.perf_counter()
-            result = plan.replay(values)
+            if arena is None and out is None:
+                result = plan.replay(values)
+            else:
+                result = plan.replay(values, arena, out)
             elapsed = time.perf_counter() - start
+            if reuse_buffers:
+                if arena is not None:
+                    self._release_arena(entry, plan, arena)
+                else:
+                    # Cold plan: remember the step shapes this replay
+                    # produced so the next one can build an arena.
+                    plan.record_buffer_shapes(values, result)
         else:
             # Traced path: the plan records raw per-step durations (one
             # C-level append between kernels), then the histogram feeds
@@ -756,6 +817,12 @@ class Dispatcher:
                 )
                 raise
             elapsed = time.perf_counter() - start
+            if out is not None and result is not out:
+                # The traced loop has no out-parameter form (per-step
+                # timing is its whole point); honour the caller's buffer
+                # with one copy outside the measured kernel sequence.
+                np.copyto(out, result)
+                result = out
             for (observe_s, observe_rate, flops), seconds in zip(
                 self._kernel_observers(entry, plan), durations
             ):
@@ -864,6 +931,7 @@ class Dispatcher:
             entry.backend = None
             entry.bench = None
             entry.kernel_hists = None
+            entry.arenas = []
             entry.executions = 0
             entry.measured_ema = None
             entry.next_check = 0
@@ -1001,6 +1069,14 @@ class Dispatcher:
                 "executions": dict(self.backend_executions),
                 "auto_wins": dict(self.auto_wins),
                 "last_execute_seconds": self.last_execute_seconds,
+                "idle_arenas": sum(
+                    len(entry.arenas) for entry in self._memo.values()
+                ),
+                "arena_bytes": sum(
+                    arena.nbytes
+                    for entry in self._memo.values()
+                    for arena in entry.arenas
+                ),
             }
 
     def __len__(self) -> int:

@@ -19,6 +19,18 @@ no dict lookups, no dataclass construction, no re-validation.
 Plans are immutable and reusable: the memoizing
 :class:`~repro.runtime.dispatcher.Dispatcher` compiles one per observed
 size vector and replays it for every later instance with the same sizes.
+
+Warm replays can additionally run **allocation-free**: a
+:class:`PlanArena` pre-allocates the plan's intermediate step buffers
+(shapes recorded on the first replay), and backends that implement
+:meth:`~repro.runtime.backends.Backend.specialize_out` write each step
+straight into its arena slot instead of ``np.empty``-ing a fresh array
+per kernel call.  The *final* result is deliberately never arena-backed —
+it escapes to the caller, and an arena-owned result would be overwritten
+by the next replay — so a caller chasing zero allocations passes its own
+``out=`` buffer.  Arenas hold mutable array state and are therefore
+*not* shareable across concurrent replays; the dispatcher pools them
+with per-replay checkout.
 """
 
 from __future__ import annotations
@@ -44,6 +56,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: One pre-resolved kernel call: specialized implementation (call config
 #: already baked in), operand slots, output slot.
 PlanOp = tuple[Callable, int, int, int]
+
+#: The arena-aware op: adds the optional out-parameter implementation
+#: (``impl_out(left, right, out) -> out``), ``None`` where the backend
+#: cannot write in place for this kernel/config.
+PlanOutOp = tuple[Callable, Optional[Callable], int, int, int]
+
+
+class PlanArena:
+    """Pre-allocated intermediate buffers for one plan's warm replays.
+
+    One buffer per step that (a) is not the final step — the result
+    escapes to the caller and must never be arena-owned — and (b) has an
+    out-parameter kernel implementation to write into it; every other
+    slot stays ``None`` and its step allocates normally.  An arena is
+    mutable shared state: it must back at most one replay at a time (the
+    dispatcher enforces this by pooling arenas with per-replay checkout).
+    """
+
+    __slots__ = ("buffers", "nbytes")
+
+    def __init__(self, plan: "ExecutionPlan"):
+        shapes = plan._step_shapes
+        if shapes is None:
+            raise ExecutionError(
+                "plan has no recorded buffer shapes yet; replay it once "
+                "before building an arena"
+            )
+        last = len(shapes) - 1
+        self.buffers: list[Optional[np.ndarray]] = [
+            np.empty(shape, dtype=np.float64)
+            if index != last and plan._out_ops[index][1] is not None
+            else None
+            for index, shape in enumerate(shapes)
+        ]
+        self.nbytes = sum(b.nbytes for b in self.buffers if b is not None)
 
 
 def _resolve_fixups(variant: Variant) -> tuple[Callable[[np.ndarray], np.ndarray], ...]:
@@ -77,9 +124,12 @@ class ExecutionPlan:
         "backend",
         "step_routines",
         "_ops",
+        "_out_ops",
         "_fixups",
         "_num_inputs",
         "_native",
+        "_step_shapes",
+        "_result_shape",
     )
 
     def __init__(
@@ -112,6 +162,7 @@ class ExecutionPlan:
         resolved = get_backend(backend)
         self.backend: str = resolved.name
         ops: list[PlanOp] = []
+        out_ops: list[PlanOutOp] = []
         configs: list[KernelCallConfig] = []
         routines: list[str] = []
         for step in variant.steps:
@@ -129,18 +180,29 @@ class ExecutionPlan:
             # and triangularity resolve at compile time.
             impl, routine = resolved.specialize(step.kernel.name, cfg)
             routines.append(routine)
-            ops.append(
+            left_slot = slot(step.left_ref)
+            right_slot = slot(step.right_ref)
+            out_slot = chain.n + step.index
+            ops.append((impl, left_slot, right_slot, out_slot))
+            out_ops.append(
                 (
                     impl,
-                    slot(step.left_ref),
-                    slot(step.right_ref),
-                    chain.n + step.index,
+                    resolved.specialize_out(step.kernel.name, cfg),
+                    left_slot,
+                    right_slot,
+                    out_slot,
                 )
             )
         self.call_configs: tuple[KernelCallConfig, ...] = tuple(configs)
         self.step_routines: tuple[str, ...] = tuple(routines)
         self._ops: tuple[PlanOp, ...] = tuple(ops)
+        self._out_ops: tuple[PlanOutOp, ...] = tuple(out_ops)
         self._fixups = _resolve_fixups(variant)
+        # Step-output shapes, recorded from the first completed replay
+        # (record_buffer_shapes); None until then, which keeps new_arena
+        # answering None — "warm" is exactly "replayed at least once".
+        self._step_shapes: Optional[tuple[tuple[int, ...], ...]] = None
+        self._result_shape: Optional[tuple[int, ...]] = None
         # Whole-plan lowering (the ``c`` backend): one fused native call
         # replacing the step loop on the untraced replay path.  A backend
         # that declines (no toolchain, unsupported step, ...) returns
@@ -177,14 +239,31 @@ class ExecutionPlan:
             )
         return self.replay(values)
 
-    def replay(self, values: list[np.ndarray]) -> np.ndarray:
+    def replay(
+        self,
+        values: list[np.ndarray],
+        arena: Optional[PlanArena] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """The trusted inner loop: run the pre-resolved kernel sequence.
 
         ``values`` must be a fresh list of float64 arrays matching
         :attr:`expected_shapes` in stored order (the dispatcher guarantees
         this via size inference); the list is extended in place with the
         intermediate buffers, so the caller must hand over ownership.
+
+        ``arena`` (built by :meth:`new_arena`) supplies pre-allocated
+        intermediate buffers — steps with an out-parameter implementation
+        write into their slot instead of allocating; the arena must not
+        back another replay concurrently.  ``out`` receives the final
+        result: on a fixup-free plan the last step writes straight into
+        it (``out`` must not alias any operand and must match the result
+        shape), otherwise the computed result is copied in.  The default
+        ``arena=None, out=None`` call takes the original allocating loop
+        untouched — the hot path pays nothing for the feature.
         """
+        if arena is not None or out is not None:
+            return self._replay_flex(values, arena, out)
         if self._native is not None:
             result = self._native(values)
             for fixup in self._fixups:
@@ -192,9 +271,9 @@ class ExecutionPlan:
             return result
         values.extend([None] * len(self._ops))
         result: Optional[np.ndarray] = None
-        for impl, left, right, out in self._ops:
+        for impl, left, right, out_slot in self._ops:
             result = impl(values[left], values[right])
-            values[out] = result
+            values[out_slot] = result
         if result is None:  # single-matrix chain: fix-ups do all the work
             result = values[0]
             if not self._fixups:
@@ -204,6 +283,90 @@ class ExecutionPlan:
         for fixup in self._fixups:
             result = fixup(result)
         return result
+
+    def _replay_flex(
+        self,
+        values: list[np.ndarray],
+        arena: Optional[PlanArena],
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Replay with arena-backed intermediates and/or a caller ``out``."""
+        if self._native is not None:
+            # The fused native call manages its own intermediates; the
+            # arena is meaningless there (new_arena answers None), but a
+            # caller-provided result buffer still gets honoured.
+            result = self._native(values)
+            for fixup in self._fixups:
+                result = fixup(result)
+            if out is not None and result is not out:
+                np.copyto(out, result)
+                result = out
+            return result
+        buffers = arena.buffers if arena is not None else None
+        values.extend([None] * len(self._ops))
+        result: Optional[np.ndarray] = None
+        last = len(self._out_ops) - 1
+        direct_out = out if not self._fixups else None
+        for index, (impl, impl_out, left, right, out_slot) in enumerate(
+            self._out_ops
+        ):
+            target = buffers[index] if buffers is not None else None
+            if index == last and direct_out is not None:
+                target = direct_out
+            if target is not None and impl_out is not None:
+                result = impl_out(values[left], values[right], target)
+            else:
+                result = impl(values[left], values[right])
+            values[out_slot] = result
+        if result is None:  # single-matrix chain: fix-ups do all the work
+            result = values[0]
+            if not self._fixups and out is None:
+                result = result.copy()
+        for fixup in self._fixups:
+            result = fixup(result)
+        if out is not None and result is not out:
+            np.copyto(out, result)
+            result = out
+        return result
+
+    # -- warm-replay buffer reuse --------------------------------------------
+
+    @property
+    def result_shape(self) -> Optional[tuple[int, ...]]:
+        """The final result's shape (after fix-ups), known once the plan
+        has replayed at least once — what a caller pre-allocates ``out``
+        with."""
+        return self._result_shape
+
+    def record_buffer_shapes(
+        self, values: Sequence[Optional[np.ndarray]], result: np.ndarray
+    ) -> None:
+        """Record step-output shapes from a completed replay.
+
+        ``values`` is the list :meth:`replay` extended in place (inputs
+        followed by one step output per op) and ``result`` the value it
+        returned.  Idempotent, and benign under a race — concurrent
+        replays of the same plan record identical shapes.
+        """
+        if self._step_shapes is not None or self._native is not None:
+            return
+        outputs = values[self._num_inputs :]
+        if len(outputs) != len(self._ops) or any(v is None for v in outputs):
+            return
+        self._result_shape = tuple(result.shape)
+        self._step_shapes = tuple(tuple(v.shape) for v in outputs)
+
+    def new_arena(self) -> Optional[PlanArena]:
+        """A fresh intermediate-buffer arena, or ``None`` when one cannot
+        help: shapes not yet recorded (no replay yet), a natively-lowered
+        plan, or no step with both an arena slot and an out-parameter
+        kernel."""
+        if self._step_shapes is None or self._native is not None:
+            return None
+        arena = PlanArena(self)
+        if not any(b is not None for b in arena.buffers):
+            return None
+        return arena
 
     def replay_timed(
         self,

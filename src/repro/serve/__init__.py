@@ -4,10 +4,15 @@ Turns the :class:`~repro.compiler.session.CompilerSession` into a
 long-lived concurrent server: a bounded request queue and worker pool with
 request coalescing (:mod:`repro.serve.service`), pluggable shared cache
 backends (:mod:`repro.serve.backends`), service metrics
-(:mod:`repro.serve.metrics`), and a stdlib-only JSON-lines front end
-(:mod:`repro.serve.frontend`, exposed as the ``repro serve`` CLI command).
+(:mod:`repro.serve.metrics`), a stdlib-only JSON-lines front end
+(:mod:`repro.serve.frontend`, exposed as the ``repro serve`` CLI command),
+its asyncio sibling multiplexing thousands of connections on one event
+loop (:mod:`repro.serve.aserve`, ``repro serve --async`` /
+``--http-port``), and a zero-copy shared-memory operand transport for
+same-host clients (:mod:`repro.serve.shm`).
 """
 
+from repro.serve.aserve import AsyncCompileServer, make_async_server
 from repro.serve.backends import (
     CacheBackend,
     DiskBackend,
@@ -25,6 +30,7 @@ from repro.serve.frontend import (
 )
 from repro.serve.metrics import ServiceMetrics, percentile
 from repro.serve.service import CompileService, default_worker_count
+from repro.serve.shm import SegmentReaper, shm_available
 
 __all__ = [
     "CacheBackend",
@@ -32,6 +38,8 @@ __all__ = [
     "InMemoryBackend",
     "TieredBackend",
     "default_backend",
+    "AsyncCompileServer",
+    "make_async_server",
     "CompileServer",
     "decode_array",
     "encode_array",
@@ -42,4 +50,6 @@ __all__ = [
     "percentile",
     "CompileService",
     "default_worker_count",
+    "SegmentReaper",
+    "shm_available",
 ]

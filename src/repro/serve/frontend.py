@@ -25,24 +25,30 @@ Request schema (``id`` is optional and echoed back verbatim):
     Wire-level execution against a previously compiled handle: the client
     ships one stored array per chain operand, the server loads the
     compiled artifact, dispatches on the inferred sizes, runs the chosen
-    variant, and ships the result back.  Each array is either a nested
-    JSON list or an ``{"encoding": "npy", "data": "<base64>"}`` object
-    (base64 of the standard ``.npy`` byte stream — exactly what
-    ``numpy.save`` writes).  The response's ``result`` uses the same
-    encoding as the first request array (override with
-    ``"result_encoding": "npy" | "list"``).  ``source`` may replace
-    ``handle`` (compile-if-needed), as for ``dispatch``.
+    variant, and ships the result back.  Each array is a nested JSON
+    list, an ``{"encoding": "npy", "data": "<base64>"}`` object (base64
+    of the standard ``.npy`` byte stream), or — for same-host clients —
+    an ``{"encoding": "shm", "name", "shape", "dtype"}`` object naming a
+    :mod:`multiprocessing.shared_memory` segment the server maps and
+    executes on directly, zero-copy (:mod:`repro.serve.shm`).  The
+    response's ``result`` uses the same encoding as the first request
+    array (override with ``"result_encoding": "shm" | "npy" | "list"``);
+    a ``result_encoding`` of ``"shm"`` silently degrades to ``"npy"``
+    when shared memory is unavailable — the payload always carries its
+    actual encoding.
+
+``{"op": "release", "name": "psm_...", "id": 7}``
+    Free a server-created response segment eagerly (the well-behaved
+    client's half of the shm ownership protocol; the TTL reaper covers
+    crashed clients).  Answers ``{"released": true|false}``.
 
 ``{"op": "stats", "id": 3}``
     Service metrics (queue depth, coalesce rate, latency percentiles),
-    session cache counters, and ``execution`` — per-backend executed
-    instance counts aggregated over the live handle registry plus the
-    most recent replay wall time (how ``auto``'s measured backend choices
-    surface in production).  The unified ``obs`` snapshot additionally
-    carries the ``calibration`` collector scope (calibrated-estimator
-    table size, sample counts, and refresh age) and the per-dispatcher
-    re-selection counters under ``runtime`` once feedback-directed
-    dispatch is active — additive fields, so the protocol stays at 3.
+    session cache counters, ``execution`` (per-backend executed instance
+    counts over the live handle registry), and ``transports`` — the
+    operand encodings this server can decode.  The unified ``obs``
+    snapshot additionally carries the ``serve.wire_bytes`` counters and
+    the ``serve.connections`` gauge the front ends maintain.
 
 ``{"op": "metrics", "id": 6}``
     The process-wide :mod:`repro.obs` registry rendered as Prometheus
@@ -60,6 +66,8 @@ JSON and unknown ops are answered in-band, never by closing the stream.
 ``repro serve`` stdin/stdout mode); :func:`make_tcp_server` wraps it in a
 threading TCP server (``repro serve --port N``), one connection per client,
 all connections multiplexed onto one :class:`CompileService` worker pool.
+:mod:`repro.serve.aserve` speaks the same protocol from a single asyncio
+event loop (``repro serve --async`` / ``--http-port``).
 """
 
 from __future__ import annotations
@@ -67,66 +75,209 @@ from __future__ import annotations
 import base64
 import io
 import json
+import socket
 import socketserver
+import threading
 import time
-from typing import IO, Optional
+from typing import IO, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.serve import shm as shm_transport
+from repro.serve.metrics import connection_closed, connection_opened, record_wire
 from repro.serve.service import CompileService
 
 #: Protocol revision, reported by ``stats`` responses.  2 added the
 #: wire-level ``execute`` op (handle + npy/base64 arrays); 3 added the
 #: ``metrics`` op (Prometheus text) and the unified ``obs`` snapshot in
-#: ``stats``.
-PROTOCOL_VERSION = 3
+#: ``stats``; 4 added the zero-copy ``shm`` operand encoding, the
+#: ``release`` op, and the ``transports`` negotiation field.
+PROTOCOL_VERSION = 4
+
+#: Bound on one protocol line (requests *and* responses).  A base64 npy
+#: 1024x1024 double is ~11 MiB; 64 MiB leaves room for several large
+#: operands per request while stopping a hostile or broken client from
+#: ballooning a connection buffer without bound.
+DEFAULT_MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def transports() -> list[str]:
+    """Operand encodings this server can decode, preference-ordered.
+
+    The negotiation half of the shm protocol: a client reads this from
+    ``stats`` (or ``ping``) once per connection and picks the fastest
+    transport both sides support, falling back down the list.
+    """
+    names = ["list", "npy"]
+    if shm_transport.shm_available():
+        names.append("shm")
+    return names
 
 
 # -- array codec (the execute op's payload format) ---------------------------
 
-def encode_array(array: np.ndarray, encoding: str = "npy") -> object:
+def as_wire_array(array: np.ndarray) -> np.ndarray:
+    """``array`` ready for raw-bytes encoding, copying only when forced.
+
+    C- and F-contiguous float arrays pass through untouched (the npy
+    header records the storage order, so no re-layout is needed); only
+    genuinely strided views pay a contiguity copy.  The no-copy guarantee
+    is load-bearing for the serve data plane — a 1024x1024 double is 8 MiB
+    of memcpy per avoidable copy — and regression-tested via
+    ``np.shares_memory``.
+    """
+    array = np.asarray(array)
+    if array.flags.c_contiguous or array.flags.f_contiguous:
+        return array
+    return np.ascontiguousarray(array)
+
+
+def array_to_npy_bytes(array: np.ndarray) -> bytes:
+    """The standard ``.npy`` byte stream, without the ``BytesIO`` detour.
+
+    ``np.save`` writes header + data into a growing ``BytesIO`` and
+    ``getvalue()`` copies the lot back out; here the (tiny) header is
+    rendered once and joined directly with the array's existing buffer —
+    one copy total, none for the header round-trip.
+    """
+    array = as_wire_array(array)
+    header = io.BytesIO()
+    np.lib.format.write_array_header_1_0(
+        header, np.lib.format.header_data_from_array_1_0(array)
+    )
+    data = array if array.flags.c_contiguous else array.T
+    return b"".join((header.getvalue(), memoryview(data).cast("B")))
+
+
+def npy_bytes_to_array(raw: bytes) -> np.ndarray:
+    """Decode an ``.npy`` byte stream as a zero-copy read-only view.
+
+    The returned array aliases ``raw`` (kernels only read operands, so a
+    read-only view feeds straight into execution); pickled payloads are
+    rejected exactly like ``np.load(allow_pickle=False)``.
+    """
+    stream = io.BytesIO(raw)
+    version = np.lib.format.read_magic(stream)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(stream)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(stream)
+    else:  # pragma: no cover - no writer emits 3.0 for plain dtypes
+        stream.seek(0)
+        return np.load(stream, allow_pickle=False)
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be decoded (allow_pickle=False)")
+    offset = stream.tell()
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    array = np.frombuffer(raw, dtype=dtype, count=count, offset=offset)
+    array = array.reshape(shape, order="F" if fortran else "C")
+    return array
+
+
+def encode_array(
+    array: np.ndarray,
+    encoding: str = "npy",
+    *,
+    reaper: Optional[shm_transport.SegmentReaper] = None,
+) -> object:
     """Encode one array for the JSON-lines wire.
 
     ``"npy"`` wraps the standard ``numpy.save`` byte stream in base64 —
     compact, dtype/shape-exact, loadable by any numpy.  ``"list"`` is the
-    nested-list form for hand-written clients.
+    nested-list form for hand-written clients.  ``"shm"`` copies the
+    array into a fresh shared-memory segment and ships only its name
+    (same-host zero-copy; tracked by ``reaper`` — the server's TTL reaper
+    by default — so orphans cannot leak); it degrades to ``"npy"`` when
+    shared memory is unavailable or segment creation fails.
     """
-    array = np.ascontiguousarray(array)
+    array = np.asarray(array)
     if encoding == "list":
         return array.tolist()
+    if encoding == "shm":
+        if shm_transport.shm_available():
+            tracker = reaper if reaper is not None else shm_transport.default_reaper()
+            try:
+                payload, _ = shm_transport.create_segment_payload(
+                    array, reaper=tracker
+                )
+            except Exception:
+                pass  # degrade to npy below
+            else:
+                tracker.reap()
+                return payload
+        encoding = "npy"
     if encoding == "npy":
-        buffer = io.BytesIO()
-        np.save(buffer, array, allow_pickle=False)
         return {
             "encoding": "npy",
-            "data": base64.b64encode(buffer.getvalue()).decode("ascii"),
+            "data": base64.b64encode(array_to_npy_bytes(array)).decode("ascii"),
         }
-    raise ValueError(f"unknown array encoding {encoding!r}; use 'npy' or 'list'")
+    raise ValueError(
+        f"unknown array encoding {encoding!r}; use 'npy', 'list', or 'shm'"
+    )
 
 
-def decode_array(payload: object) -> np.ndarray:
-    """Decode one wire array (nested lists, or an ``npy`` base64 object)."""
+def decode_operand(payload: object) -> tuple[np.ndarray, Optional[Callable[[], None]]]:
+    """Decode one wire array zero-copy; returns ``(array, closer)``.
+
+    The execute hot path: ``npy`` payloads decode as read-only views over
+    the base64-decoded bytes, ``shm`` payloads map the named segment
+    directly.  ``closer`` (when not ``None``) must be called once the
+    arrays are no longer in use — it detaches the shm mapping.
+    """
     if isinstance(payload, (list, tuple)):
-        return np.asarray(payload, dtype=np.float64)
+        return np.asarray(payload, dtype=np.float64), None
     if isinstance(payload, dict):
         encoding = payload.get("encoding", "npy")
         data = payload.get("data")
         if encoding == "list":
-            return np.asarray(data, dtype=np.float64)
+            return np.asarray(data, dtype=np.float64), None
         if encoding == "npy":
             if not isinstance(data, str):
                 raise ValueError("'npy' array payload needs base64 string 'data'")
             try:
                 raw = base64.b64decode(data, validate=True)
-                array = np.load(io.BytesIO(raw), allow_pickle=False)
+                array = npy_bytes_to_array(raw)
             except Exception as exc:
                 raise ValueError(f"undecodable npy array payload: {exc}") from exc
-            return np.asarray(array, dtype=np.float64)
+            if array.dtype != np.float64:
+                array = np.asarray(array, dtype=np.float64)
+            return array, None
+        if encoding == "shm":
+            if not shm_transport.shm_available():
+                raise ValueError(
+                    "shm operand transport is unavailable on this host; "
+                    "re-send as 'npy'"
+                )
+            view, segment = shm_transport.open_segment(payload)
+            if view.dtype != np.float64:
+                array = np.asarray(view, dtype=np.float64)
+                segment.close()
+                return array, None
+            return view, segment.close
         raise ValueError(f"unknown array encoding {encoding!r}")
     raise ValueError(
-        "each array must be a nested JSON list or an "
-        '{"encoding": "npy", "data": "<base64>"} object'
+        "each array must be a nested JSON list, an "
+        '{"encoding": "npy", "data": "<base64>"} object, or an '
+        '{"encoding": "shm", "name": ...} object'
     )
+
+
+def decode_array(payload: object) -> np.ndarray:
+    """Decode one wire array into a privately-owned ndarray.
+
+    The client-side convenience: shm payloads are copied out and the
+    mapping detached, so the returned array never aliases a segment the
+    peer may unlink.  Server-side execution uses :func:`decode_operand`
+    (zero-copy, explicit lifetime) instead.
+    """
+    array, closer = decode_operand(payload)
+    if closer is not None:
+        try:
+            return np.array(array, dtype=np.float64, copy=True)
+        finally:
+            del array
+            closer()
+    return array
 
 
 def _error(payload_id, message: str, exc: Optional[BaseException] = None) -> dict:
@@ -209,6 +360,20 @@ def _handle_dispatch(service: CompileService, payload: dict) -> dict:
     }
 
 
+def _result_encoding(payload: dict) -> str:
+    encoding = payload.get("result_encoding")
+    if encoding is not None:
+        return encoding
+    # Mirror the first request array's encoding: bare lists and
+    # {"encoding": "list"} objects both answer in lists.
+    first = payload["arrays"][0]
+    if isinstance(first, list):
+        return "list"
+    if isinstance(first, dict):
+        return first.get("encoding", "npy")
+    return "npy"
+
+
 def _handle_execute(service: CompileService, payload: dict) -> dict:
     arrays_payload = payload.get("arrays")
     if not isinstance(arrays_payload, list) or not arrays_payload:
@@ -218,33 +383,45 @@ def _handle_execute(service: CompileService, payload: dict) -> dict:
         # Reject unknown/evicted handles before paying the payload decode
         # (base64 .npy operands can be large).
         raise KeyError(f"unknown compilation handle {handle!r}")
-    arrays = [decode_array(entry) for entry in arrays_payload]
-    start = time.perf_counter()
-    # One live runtime per handle: the registry's dispatcher memoizes the
-    # (sizes -> variant, plan) decision, so repeated same-size requests
-    # skip the cost sweep and execute a pre-compiled plan.
-    sizes, variant, cost, result = service.execute(handle, arrays)
-    elapsed_ms = 1e3 * (time.perf_counter() - start)
-    encoding = payload.get("result_encoding")
-    if encoding is None:
-        # Mirror the first request array's encoding: bare lists and
-        # {"encoding": "list"} objects both answer in lists.
-        first = arrays_payload[0]
-        if isinstance(first, list):
-            encoding = "list"
-        elif isinstance(first, dict):
-            encoding = first.get("encoding", "npy")
-        else:
-            encoding = "npy"
+    arrays: list[np.ndarray] = []
+    closers: list[Callable[[], None]] = []
+    try:
+        for entry in arrays_payload:
+            array, closer = decode_operand(entry)
+            arrays.append(array)
+            if closer is not None:
+                closers.append(closer)
+        start = time.perf_counter()
+        # One live runtime per handle: the registry's dispatcher memoizes
+        # the (sizes -> variant, plan) decision, so repeated same-size
+        # requests skip the cost sweep and replay a pre-compiled plan —
+        # with its intermediate buffers checked out of the plan's arena
+        # pool rather than re-allocated (see CompileService.execute).
+        sizes, variant, cost, result = service.execute(handle, arrays)
+        elapsed_ms = 1e3 * (time.perf_counter() - start)
+    finally:
+        del arrays
+        for closer in closers:
+            closer()
     return {
         "ok": True,
         "handle": handle,
         "sizes": [int(s) for s in sizes],
         "variant": variant.name,
         "cost": float(cost),
-        "result": encode_array(result, encoding),
+        "result": encode_array(result, _result_encoding(payload)),
         "elapsed_ms": round(elapsed_ms, 3),
     }
+
+
+def _handle_release(payload: dict) -> dict:
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("'release' needs a string 'name'")
+    reaper = shm_transport.default_reaper()
+    released = reaper.release(name)
+    reaper.reap()
+    return {"ok": True, "released": released}
 
 
 def handle_request(service: CompileService, payload: dict) -> dict:
@@ -260,10 +437,13 @@ def handle_request(service: CompileService, payload: dict) -> dict:
             response = _handle_dispatch(service, payload)
         elif op == "execute":
             response = _handle_execute(service, payload)
+        elif op == "release":
+            response = _handle_release(payload)
         elif op == "stats":
             response = {
                 "ok": True,
                 "protocol_version": PROTOCOL_VERSION,
+                "transports": transports(),
                 **service.stats(),
             }
         elif op == "metrics":
@@ -273,12 +453,12 @@ def handle_request(service: CompileService, payload: dict) -> dict:
         elif op == "warm":
             response = {"ok": True, "warmed": service.session.warm()}
         elif op == "ping":
-            response = {"ok": True, "pong": True}
+            response = {"ok": True, "pong": True, "transports": transports()}
         else:
             return _error(
                 payload_id,
                 f"unknown op {op!r}; expected "
-                "compile|dispatch|execute|stats|metrics|warm|ping",
+                "compile|dispatch|execute|release|stats|metrics|warm|ping",
             )
     except KeyError as exc:
         return _error(payload_id, str(exc.args[0]) if exc.args else str(exc), exc)
@@ -318,30 +498,77 @@ def serve_stream(
     (used by tests and batch drivers).
     """
     served = 0
-    for line in infile:
-        response = handle_line(service, line)
-        if response is None:
-            continue
-        outfile.write(response + "\n")
-        outfile.flush()
-        served += 1
-        if max_requests is not None and served >= max_requests:
-            break
+    connection_opened("stdio")
+    try:
+        for line in infile:
+            record_wire("stdio", "in", len(line))
+            response = handle_line(service, line)
+            if response is None:
+                continue
+            record_wire("stdio", "out", len(response) + 1)
+            outfile.write(response + "\n")
+            outfile.flush()
+            served += 1
+            if max_requests is not None and served >= max_requests:
+                break
+    finally:
+        connection_closed("stdio")
     return served
 
 
 class _JsonLineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
-        service = self.server.compile_service  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            response = handle_line(service, raw.decode("utf-8", "replace"))
-            if response is None:
-                continue
-            try:
-                self.wfile.write(response.encode() + b"\n")
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
-                return
+        server: CompileServer = self.server  # type: ignore[assignment]
+        service = server.compile_service
+        limit = server.max_line_bytes
+        connection_opened("tcp")
+        try:
+            while True:
+                raw = self.rfile.readline(limit + 1)
+                if not raw:
+                    return
+                record_wire("tcp", "in", len(raw))
+                if len(raw) > limit:
+                    # One oversize line poisons the rest of the stream (we
+                    # cannot tell where the next request starts), so answer
+                    # in-band and close.  Drain the rest of the offending
+                    # line first (bounded): closing with unread bytes in
+                    # the receive queue would RST the connection before
+                    # the client reads the error.
+                    self._reply(
+                        json.dumps(
+                            _error(
+                                None,
+                                f"request line exceeds {limit} bytes",
+                            )
+                        )
+                    )
+                    try:
+                        self.connection.settimeout(5.0)
+                        for _ in range(64):
+                            if not raw or raw.endswith(b"\n"):
+                                break
+                            raw = self.rfile.readline(limit + 1)
+                    except OSError:
+                        pass
+                    return
+                response = handle_line(service, raw.decode("utf-8", "replace"))
+                if response is None:
+                    continue
+                if not self._reply(response):
+                    return
+        finally:
+            connection_closed("tcp")
+
+    def _reply(self, response: str) -> bool:
+        try:
+            encoded = response.encode() + b"\n"
+            self.wfile.write(encoded)
+            self.wfile.flush()
+            record_wire("tcp", "out", len(encoded))
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
 
 class CompileServer(socketserver.ThreadingTCPServer):
@@ -349,23 +576,98 @@ class CompileServer(socketserver.ThreadingTCPServer):
 
     One handler thread per connection; every connection shares the single
     :class:`CompileService` (hence its queue bound, coalescing map, cache,
-    and metrics).
+    and metrics).  Connection threads and sockets are tracked so
+    :meth:`close` can shut the server down *deterministically*: the
+    listener stops, every live connection socket is shut down (clients
+    blocked on a read get a clean EOF, not a reset), and the handler
+    threads are joined with a timeout — no daemon threads leak past
+    shutdown.
     """
 
     allow_reuse_address = True
-    daemon_threads = True
+    daemon_threads = True  # last-resort: interpreter exit never hangs
+    # The socketserver default backlog of 5 drops SYN-ACK completions
+    # under a burst of simultaneous connects (the kernel RSTs the
+    # half-open connections once its retries run out); a serving data
+    # plane must absorb a 64-client stampede without resets.
+    request_queue_size = 128
 
-    def __init__(self, service: CompileService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ):
         super().__init__((host, port), _JsonLineHandler)
         self.compile_service = service
+        self.max_line_bytes = max_line_bytes
+        self._conn_lock = threading.Lock()
+        self._conn_threads: dict[threading.Thread, socket.socket] = {}
 
     @property
     def address(self) -> tuple[str, int]:
         return self.server_address[0], self.server_address[1]
 
+    # -- tracked connection threads ------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self._handle_tracked,
+            args=(request, client_address),
+            daemon=True,
+            name=f"repro-serve-conn-{client_address[1]}",
+        )
+        with self._conn_lock:
+            self._conn_threads[thread] = request
+        thread.start()
+
+    def _handle_tracked(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:  # pragma: no cover - handler errors are per-conn
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+            with self._conn_lock:
+                self._conn_threads.pop(threading.current_thread(), None)
+
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._conn_threads)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Deterministic shutdown: listener, live connections, threads.
+
+        Safe to call from any thread (including while ``serve_forever``
+        runs elsewhere) and idempotent.  Clients mid-request observe a
+        clean EOF: each live socket is ``shutdown(SHUT_RDWR)`` — flushing
+        a FIN — before the handler thread is joined.
+        """
+        try:
+            self.shutdown()  # stops serve_forever, no-op if never started
+        except Exception:  # pragma: no cover - platform quirks
+            pass
+        self.server_close()
+        with self._conn_lock:
+            live = dict(self._conn_threads)
+        for conn in live.values():
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        for thread in live:
+            thread.join(max(0.0, deadline - time.monotonic()))
+
 
 def make_tcp_server(
-    service: CompileService, host: str = "127.0.0.1", port: int = 0
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
 ) -> CompileServer:
     """Bind a :class:`CompileServer` (``port=0`` picks a free port)."""
-    return CompileServer(service, host, port)
+    return CompileServer(service, host, port, max_line_bytes=max_line_bytes)

@@ -23,7 +23,38 @@ from typing import Callable, Optional
 
 from repro.obs import MetricsRegistry, get_registry, percentile
 
-__all__ = ["ServiceMetrics", "percentile"]
+__all__ = [
+    "ServiceMetrics",
+    "connection_closed",
+    "connection_opened",
+    "percentile",
+    "record_wire",
+]
+
+
+# -- front-end wire accounting (process-wide registry) -----------------------
+#
+# Unlike the per-service counters below, wire traffic belongs to the front
+# ends (stdio / tcp / async / http), which may outnumber or outlive any one
+# CompileService — so these report straight into the global registry:
+# ``serve.wire_bytes{direction,transport}`` counters plus a
+# ``serve.connections{transport}`` gauge of currently-open connections.
+# Metrics are looked up per call (a dict get under the registry lock) so the
+# testing ``reset()`` hook never leaves stale cached objects behind.
+
+def record_wire(transport: str, direction: str, nbytes: int) -> None:
+    """Account ``nbytes`` of protocol traffic (``direction``: in | out)."""
+    get_registry().counter(
+        "serve.wire_bytes", direction=direction, transport=transport
+    ).inc(int(nbytes))
+
+
+def connection_opened(transport: str) -> None:
+    get_registry().gauge("serve.connections", transport=transport).add(1)
+
+
+def connection_closed(transport: str) -> None:
+    get_registry().gauge("serve.connections", transport=transport).add(-1)
 
 
 class ServiceMetrics:

@@ -430,11 +430,13 @@ class CompileService:
 
         Returns a :class:`~repro.runtime.DispatchOutcome` (sizes, variant,
         cost, result).  Sizes are inferred — and shapes thereby validated —
-        exactly once; a warm handle replays its memoized execution plan.
+        exactly once; a warm handle replays its memoized execution plan —
+        on pooled intermediate buffers (``reuse_buffers``), so steady-state
+        serving traffic skips the per-step allocations.
         Raises :class:`KeyError` for an unknown handle.
         """
         generated = self._require(handle)
-        return generated.dispatcher.run(arrays)
+        return generated.dispatcher.run(arrays, reuse_buffers=True)
 
     def _require(self, handle: str) -> "GeneratedCode":
         generated = self.lookup(handle)

@@ -227,6 +227,48 @@ class TestStatsSummaryRendering:
         out = capsys.readouterr().out
         assert "age=never" in out
 
+    def test_v4_payload_renders_wire_and_connections(self, capsys):
+        from repro.cli import _print_stats_summary
+
+        payload = json.loads(json.dumps(self.V3_PAYLOAD))
+        payload["protocol_version"] = 4
+        payload["obs"]["counters"].update(
+            {
+                "serve.wire_bytes{direction=in,transport=async}": 2048,
+                "serve.wire_bytes{direction=out,transport=async}": 4096,
+            }
+        )
+        payload["obs"]["gauges"][
+            "serve.connections{transport=async}"
+        ] = 3.0
+        _print_stats_summary(payload)
+        out = capsys.readouterr().out
+        assert (
+            "wire:    serve.wire_bytes{direction=in,transport=async}=2048"
+            in out
+        )
+        assert "serve.wire_bytes{direction=out,transport=async}=4096" in out
+        assert "conns:   serve.connections{transport=async}=3" in out
+
+    def test_live_stats_carry_wire_counters(self, monkeypatch, capsys):
+        """End-to-end: serve traffic surfaces the serve.wire_bytes
+        counters and serve.connections gauge in the stats op."""
+        responses, _ = run_serve(
+            monkeypatch,
+            capsys,
+            [{"op": "ping", "id": 1}, {"op": "stats", "id": 2}],
+        )
+        obs = responses[1]["obs"]
+        wire_in = {
+            key: value
+            for key, value in obs["counters"].items()
+            if key.startswith("serve.wire_bytes{direction=in")
+        }
+        assert wire_in and all(v > 0 for v in wire_in.values())
+        assert any(
+            key.startswith("serve.connections") for key in obs["gauges"]
+        )
+
 
 class TestServeProcessMode:
     def test_process_mode_serves_compile_and_execute(self, monkeypatch, capsys):

@@ -7,11 +7,18 @@ import threading
 
 import pytest
 
+import numpy as np
+
 from repro.serve import CompileService, make_tcp_server
 from repro.serve.frontend import (
     PROTOCOL_VERSION,
+    array_to_npy_bytes,
+    as_wire_array,
+    decode_array,
+    encode_array,
     handle_line,
     handle_request,
+    npy_bytes_to_array,
     serve_stream,
 )
 
@@ -314,6 +321,56 @@ class TestStream:
         assert "JSON object" in response["error"]
 
 
+class TestArrayCodec:
+    """The npy wire codec's no-copy fast paths (PR 10 satellite)."""
+
+    def test_as_wire_array_contiguous_is_no_copy(self):
+        array = np.random.default_rng(0).standard_normal((64, 64))
+        assert np.shares_memory(as_wire_array(array), array)
+
+    def test_as_wire_array_fortran_is_no_copy(self):
+        array = np.asfortranarray(np.ones((16, 24)))
+        assert np.shares_memory(as_wire_array(array), array)
+
+    def test_as_wire_array_strided_copies(self):
+        array = np.ones((32, 32))[::2, ::2]
+        wired = as_wire_array(array)
+        assert not np.shares_memory(wired, array)
+        assert wired.flags.c_contiguous
+
+    def test_npy_bytes_round_trip_all_layouts(self):
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal((12, 18))
+        for array in (base, np.asfortranarray(base), base[::2, 1::3]):
+            back = npy_bytes_to_array(array_to_npy_bytes(array))
+            assert np.array_equal(back, array)
+            assert back.dtype == array.dtype
+
+    def test_npy_bytes_match_np_save(self):
+        """The header+join fast path emits byte-identical .npy streams."""
+        array = np.random.default_rng(2).standard_normal((7, 5))
+        buffer = io.BytesIO()
+        np.save(buffer, array)
+        assert array_to_npy_bytes(array) == buffer.getvalue()
+
+    def test_npy_decode_is_zero_copy_view(self):
+        array = np.arange(20, dtype=np.float64).reshape(4, 5)
+        raw = array_to_npy_bytes(array)
+        back = npy_bytes_to_array(raw)
+        assert not back.flags.writeable  # aliases the immutable bytes
+        assert np.array_equal(back, array)
+
+    def test_encode_decode_round_trip(self):
+        array = np.random.default_rng(3).standard_normal((6, 9))
+        payload = encode_array(array)
+        assert payload["encoding"] == "npy"
+        assert np.array_equal(decode_array(payload), array)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError, match="unknown array encoding"):
+            encode_array(np.ones((2, 2)), "protobuf")
+
+
 class TestTcpServer:
     def test_two_clients_share_one_service(self, service):
         server = make_tcp_server(service, "127.0.0.1", 0)
@@ -347,6 +404,21 @@ class TestTcpServer:
             assert second[0]["handle"] == first[0]["handle"]
             assert second[1]["cache"]["hits"] >= 1
         finally:
-            server.shutdown()
-            server.server_close()
+            server.close()
+            thread.join(timeout=10)
+
+    def test_oversize_line_answered_in_band_then_eof(self, service):
+        server = make_tcp_server(service, "127.0.0.1", 0, max_line_bytes=4096)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection(server.address, timeout=10) as conn:
+                conn.sendall(b"y" * 10_000 + b"\n")
+                stream = conn.makefile("r", encoding="utf-8")
+                response = json.loads(stream.readline())
+                assert response["ok"] is False
+                assert "exceeds 4096 bytes" in response["error"]
+                assert stream.readline() == ""  # stream unrecoverable: EOF
+        finally:
+            server.close()
             thread.join(timeout=10)
